@@ -1,0 +1,59 @@
+"""Ablation: multipass size-class boundaries.
+
+The paper fixes the six classes [0,1], (1,8], (8,16], (16,32], (32,64],
+(64, inf) without justification; this ablation sweeps alternative bucket
+sets over the real base_word size distribution to show the chosen set sits
+near the padding/pass-count sweet spot.
+"""
+
+import pytest
+
+from repro.bench.harness import window_words
+from repro.bench.report import emit_table
+from repro.core.base_word import canonical_keys
+from repro.gpusim.costmodel import GpuCostModel
+from repro.gpusim.device import Device
+from repro.sortnet.multipass import multipass_sort
+
+BOUND_SETS = {
+    "paper (1,8,16,32,64)": (1, 8, 16, 32, 64),
+    "coarse (1,64)": (1, 64),
+    "pow2-all (1,2,4,8,16,32,64,128)": (1, 2, 4, 8, 16, 32, 64, 128),
+    "fine-low (1,4,8,12,16,32,64)": (1, 4, 8, 12, 16, 32, 64),
+    "single-class ()": (),
+}
+
+
+def test_ablation_multipass_bounds(benchmark, fractions):
+    _, _, words, offsets, _, _ = window_words("ch1-sim", fractions["ch1-sim"])
+    keys = canonical_keys(words)
+    model = GpuCostModel()
+    results = {}
+    for label, bounds in BOUND_SETS.items():
+        device = Device()
+        sorted_keys, stats = multipass_sort(
+            keys, offsets, device=device, bounds=bounds
+        )
+        results[label] = {
+            "time": model.kernel_time(device.counters.total()),
+            "passes": stats.passes,
+            "padding": stats.padding_ratio,
+        }
+    emit_table(
+        "Ablation — multipass bucket boundaries (ch1-sim)",
+        ["bounds", "passes", "padding", "modeled s (scaled)"],
+        [
+            (label, v["passes"], f"{v['padding']:.2f}x", f"{v['time']:.4f}")
+            for label, v in results.items()
+        ],
+    )
+
+    paper = results["paper (1,8,16,32,64)"]
+    single = results["single-class ()"]
+    # The paper's buckets pad far less than a single class...
+    assert paper["padding"] < single["padding"] / 1.5
+    # ...and adding many more classes barely helps.
+    fine = results["pow2-all (1,2,4,8,16,32,64,128)"]
+    assert fine["padding"] > paper["padding"] * 0.8
+
+    benchmark(lambda: multipass_sort(keys, offsets)[0])

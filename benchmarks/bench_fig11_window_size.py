@@ -1,0 +1,43 @@
+"""Figure 11: elapsed time and memory consumption vs window size.
+
+Paper shape: time rises sharply below ~128k sites/window (launch overhead +
+underutilized hardware), and is flat beyond ~256k; memory grows with the
+window.  Window sizes here scale with the bench dataset.
+"""
+
+import pytest
+
+from repro.bench.harness import bench_dataset, exp_fig11
+from repro.bench.report import emit_table
+from repro.core.pipeline import GsnpPipeline
+
+
+def test_fig11_window_sweep(benchmark, fractions):
+    name = "ch1-sim"
+    ds = bench_dataset(name, fractions[name])
+    windows = tuple(
+        w for w in (1000, 2000, 4000, 8000, 16000, ds.n_sites) if w <= ds.n_sites
+    )
+    data = benchmark.pedantic(
+        lambda: exp_fig11(name, fractions[name], windows=windows),
+        rounds=1, iterations=1,
+    )
+    emit_table(
+        "Fig 11 — time & memory vs window size (ch1-sim)",
+        ["window (sites)", "windows", "full-scale s", "GPU bytes"],
+        [
+            (w, v["windows"], round(v["time"], 1), f"{v['gpu_bytes']:.3g}")
+            for w, v in data.items()
+        ],
+        note="paper: sharp slowdown below ~128k sites/window, flat above "
+        "~256k; memory grows with window size",
+    )
+
+    ws = sorted(data)
+    # Small windows are slower than the largest.
+    assert data[ws[0]]["time"] > data[ws[-1]]["time"]
+    # Time is monotone non-increasing within noise (allow 10%).
+    for a, b in zip(ws[:-1], ws[1:]):
+        assert data[b]["time"] <= data[a]["time"] * 1.10
+    # The flat region: doubling the window near the top changes time <15%.
+    assert data[ws[-1]]["time"] > 0.85 * data[ws[-2]]["time"]

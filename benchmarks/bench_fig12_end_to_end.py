@@ -1,0 +1,51 @@
+"""Figure 12: end-to-end comparison over all 24 human chromosomes.
+
+Paper shape: GSNP >= 40x faster than SOAPsnp on every sequence; whole
+genome ~3 days (SOAPsnp) vs ~2 hours (GSNP); GSNP_CPU in between.
+"""
+
+import pytest
+
+from repro.bench.harness import exp_fig12
+from repro.bench.report import emit_table
+
+
+def test_fig12_whole_genome(benchmark, fractions):
+    data = benchmark.pedantic(
+        lambda: exp_fig12(fraction=0.04), rounds=1, iterations=1
+    )
+    rows = []
+    total = {"SOAPsnp": 0.0, "GSNP_CPU": 0.0, "GSNP": 0.0}
+    for chrom, v in data.items():
+        for k in total:
+            total[k] += v[k]
+        rows.append(
+            (
+                chrom, round(v["SOAPsnp"]), round(v["GSNP_CPU"]),
+                round(v["GSNP"], 1), f"{v['SOAPsnp'] / v['GSNP']:.0f}x",
+            )
+        )
+    rows.append(
+        (
+            "TOTAL", round(total["SOAPsnp"]), round(total["GSNP_CPU"]),
+            round(total["GSNP"]), f"{total['SOAPsnp'] / total['GSNP']:.0f}x",
+        )
+    )
+    emit_table(
+        "Fig 12 — end-to-end, all 24 chromosomes (full-scale modeled s)",
+        ["sequence", "SOAPsnp", "GSNP_CPU", "GSNP", "speedup"],
+        rows,
+        note="paper: whole genome ~3 days (SOAPsnp) vs ~2 hours (GSNP), "
+        ">=40x per sequence",
+    )
+
+    # Every chromosome: GSNP < GSNP_CPU < SOAPsnp, speedup > 20x.
+    for chrom, v in data.items():
+        assert v["GSNP"] < v["GSNP_CPU"] < v["SOAPsnp"], chrom
+        assert v["SOAPsnp"] / v["GSNP"] > 20, chrom
+    # Whole-genome wall: paper 3 days vs 2 hours -> ratio ~36; accept >20.
+    assert total["SOAPsnp"] / total["GSNP"] > 20
+    # Full-genome absolute scale: SOAPsnp ~ days (>1e5 s) and GSNP ~ hours
+    # (<3e4 s) in the model.
+    assert total["SOAPsnp"] > 1e5
+    assert total["GSNP"] < 5e4

@@ -1,0 +1,53 @@
+"""Figure 4: (a) estimated base_occ memory-access time vs measured
+likelihood/recycle time; (b) sparsity of the base_occ matrix."""
+
+import pytest
+
+from repro.bench.harness import exp_fig4a, exp_fig4b, soapsnp_result
+from repro.bench.report import emit_table
+
+
+@pytest.mark.parametrize("name", ["ch1-sim", "ch21-sim"])
+def test_fig4a_memory_estimate(benchmark, name, fractions):
+    data = exp_fig4a(name, fractions[name])
+    emit_table(
+        f"Fig 4a — Formula (1) estimate vs modeled time ({name}), seconds",
+        ["quantity", "seconds", "scan share"],
+        [
+            ("base_occ scan estimate", round(data["estimate_scan"]), "-"),
+            ("likelihood (modeled)", round(data["likelihood"]),
+             f"{100 * data['scan_share_likelihood']:.0f}%"),
+            ("recycle (modeled)", round(data["recycle"]),
+             f"{100 * data['scan_share_recycle']:.0f}%"),
+        ],
+        note="paper: scan explains 65-70% of likelihood, 89-92% of recycle",
+    )
+    # Paper's bands, slightly widened for the synthetic substrate.
+    assert 0.55 <= data["scan_share_likelihood"] <= 0.85
+    assert 0.80 <= data["scan_share_recycle"] <= 1.05
+
+    benchmark.pedantic(
+        lambda: exp_fig4a(name, fractions[name]), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("name", ["ch1-sim", "ch21-sim"])
+def test_fig4b_sparsity(benchmark, name, fractions):
+    data = exp_fig4b(name, fractions[name])
+    emit_table(
+        f"Fig 4b — base_occ sparsity ({name})",
+        ["non-zero bucket", "% of sites"],
+        [(k, f"{v:.1f}") for k, v in data["histogram"].items()],
+        note=f"mean non-zeros/site {data['mean_nnz']:.1f} of 131,072 "
+        f"({data['nonzero_pct']:.4f}%); paper: up to ~0.08%",
+    )
+    # The paper's regime: most sites have only tens of non-zeros and the
+    # overall non-zero share is far below 0.1%.
+    assert data["nonzero_pct"] < 0.1
+    tens = sum(
+        v for k, v in data["histogram"].items()
+        if k in ("[1,8)", "[8,16)", "[16,32)", "[32,64)")
+    )
+    assert tens > 50.0
+
+    benchmark(lambda: exp_fig4b(name, fractions[name]))

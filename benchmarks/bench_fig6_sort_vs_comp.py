@@ -1,0 +1,47 @@
+"""Figure 6: likelihood_sort vs likelihood_comp, CPU vs GPU.
+
+Paper: GPU speedup ~22x for the sort and ~40x for the computation (the
+bitonic network has a higher complexity than quicksort, so its speedup is
+smaller).
+"""
+
+import pytest
+
+from repro.bench.harness import exp_fig6, window_words
+from repro.bench.report import emit_table
+from repro.core.base_word import canonical_keys
+from repro.sortnet.cpu_sort import quicksort_per_site
+
+
+@pytest.mark.parametrize("name", ["ch1-sim", "ch21-sim"])
+def test_fig6_sort_and_comp(benchmark, name, fractions):
+    data = exp_fig6(name, fractions[name])
+    emit_table(
+        f"Fig 6 — likelihood steps ({name}), full-scale seconds",
+        ["step", "CPU", "GPU", "speedup"],
+        [
+            ("likelihood_sort", round(data["cpu_sort"], 1),
+             round(data["gpu_sort"], 1),
+             f"{data['cpu_sort'] / data['gpu_sort']:.0f}x"),
+            ("likelihood_comp", round(data["cpu_comp"], 1),
+             round(data["gpu_comp"], 1),
+             f"{data['cpu_comp'] / data['gpu_comp']:.0f}x"),
+        ],
+        note="paper: sort ~22x, comp ~40x",
+    )
+
+    sort_speedup = data["cpu_sort"] / data["gpu_sort"]
+    comp_speedup = data["cpu_comp"] / data["gpu_comp"]
+    # Both steps accelerate strongly on the GPU.
+    assert sort_speedup > 10
+    assert 15 < comp_speedup < 100  # paper: ~40x
+    # Comp dominates the GPU-side time, as in the paper's bars.
+    assert data["gpu_comp"] > data["gpu_sort"]
+    # Known deviation (see EXPERIMENTS.md): the paper's measured sort
+    # speedup is 22x < comp's 40x; our analytic model prices the batch
+    # bitonic closer to hardware optimum, so its speedup comes out larger.
+
+    # Wall-clock benchmark of the real CPU quicksort step.
+    _, _, words, offsets, _, _ = window_words(name, fractions[name])
+    keys = canonical_keys(words)
+    benchmark(lambda: quicksort_per_site(keys, offsets))

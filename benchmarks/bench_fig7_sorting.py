@@ -1,0 +1,73 @@
+"""Figure 7: (a) batch-sort primitive throughput; (b) multipass sorting.
+
+Paper shapes: (a) the GPU batch bitonic beats the 16-thread CPU quicksort
+by ~1.5x, the per-array sequential radix sort collapses, and throughput
+falls as the batch array size grows; (b) multipass is ~5x faster than
+single-pass (which sorts ~4x more elements) and beats the non-equal-size
+direct sort via balanced workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import exp_fig7a, exp_fig7b
+from repro.bench.report import emit_table
+from repro.sortnet.bitonic import bitonic_sort_batch
+
+
+def test_fig7a_batchsort_throughput(benchmark, fractions):
+    data = exp_fig7a(sizes=(4, 8, 16, 32, 64, 128, 256), n_arrays=1024)
+    emit_table(
+        "Fig 7a — batch sort throughput (elements/s)",
+        ["array size", "CPU parallel qsort", "GPU batch bitonic",
+         "GPU seq. radix"],
+        [
+            (m, f"{v['cpu_parallel']:.3g}", f"{v['gpu_batch_bitonic']:.3g}",
+             f"{v['gpu_seq_radix']:.3g}")
+            for m, v in data.items()
+        ],
+        note="paper: batch bitonic ~1.5x CPU; sequential radix collapses; "
+        "throughput decreases with array size",
+    )
+
+    for m, v in data.items():
+        # Sequential radix underutilizes the device by orders of magnitude.
+        assert v["gpu_seq_radix"] < v["gpu_batch_bitonic"] / 10
+    # Batch bitonic competitive with (or better than) the CPU baseline for
+    # small arrays.
+    assert (
+        data[8]["gpu_batch_bitonic"] > 0.5 * data[8]["cpu_parallel"]
+    )
+    # Throughput decreases as arrays grow.
+    assert (
+        data[256]["gpu_batch_bitonic"] < data[8]["gpu_batch_bitonic"]
+    )
+
+    # Wall-clock benchmark of the functional network itself.
+    rng = np.random.default_rng(0)
+    batch = rng.integers(0, 2**17, (1024, 64)).astype(np.uint32)
+    benchmark(lambda: bitonic_sort_batch(batch.copy()))
+
+
+def test_fig7b_multipass(benchmark, fractions):
+    data = benchmark.pedantic(
+        lambda: exp_fig7b("ch1-sim", fractions["ch1-sim"]),
+        rounds=1, iterations=1,
+    )
+    emit_table(
+        "Fig 7b — multipass vs single-pass vs non-equal (ch1-sim)",
+        ["strategy", "full-scale s", "padded elems", "padding", "cmp-exch"],
+        [
+            (k, round(v["time"], 1), f"{v['padded_elements']:.3g}",
+             f"{v['padding_ratio']:.2f}x", f"{v['compare_exchanges']:.3g}")
+            for k, v in data.items()
+        ],
+        note="paper: single-pass sorts ~4x more elements, ~5x slower; "
+        "non-equal suffers imbalance",
+    )
+
+    mp, sp, ne = data["bitonic_MP"], data["bitonic_SP"], data["bitonic_noneq"]
+    assert mp["time"] < sp["time"]
+    assert mp["padded_elements"] < sp["padded_elements"]
+    assert sp["padding_ratio"] / mp["padding_ratio"] > 1.5
+    assert mp["compare_exchanges"] <= ne["compare_exchanges"]

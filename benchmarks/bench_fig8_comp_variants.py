@@ -1,0 +1,40 @@
+"""Figure 8: likelihood_comp time under each optimization combination.
+
+Paper: optimized ~2.4x faster than baseline; shared memory alone reduces
+time to ~55%, the new score table alone to ~78% (shared helps more because
+it removes twenty non-coalesced global accesses per base_word).
+"""
+
+import pytest
+
+from repro.bench.harness import exp_fig8
+from repro.bench.report import emit_table
+
+
+@pytest.mark.parametrize("name", ["ch1-sim", "ch21-sim"])
+def test_fig8_variants(benchmark, name, fractions):
+    data = benchmark.pedantic(
+        lambda: exp_fig8(name, fractions[name]), rounds=1, iterations=1
+    )
+    base = data["baseline"]
+    emit_table(
+        f"Fig 8 — likelihood_comp variants ({name}), full-scale seconds",
+        ["variant", "seconds", "fraction of baseline", "paper fraction"],
+        [
+            ("baseline", round(base, 1), "1.00", "1.00"),
+            ("w_shared", round(data["w_shared"], 1),
+             f"{data['w_shared'] / base:.2f}", "0.55"),
+            ("w_new_table", round(data["w_new_table"], 1),
+             f"{data['w_new_table'] / base:.2f}", "0.78"),
+            ("optimized", round(data["optimized"], 1),
+             f"{data['optimized'] / base:.2f}", "0.42"),
+        ],
+    )
+
+    # Orderings as in the paper.
+    assert data["optimized"] < data["w_shared"] < base
+    assert data["optimized"] < data["w_new_table"] < base
+    # Both optimizations individually help; combined ~2.4x (accept 1.5-4.5x).
+    assert 1.5 < base / data["optimized"] < 4.5
+    # Shared memory contributes more than the table (paper's finding).
+    assert data["w_shared"] <= data["w_new_table"] * 1.1

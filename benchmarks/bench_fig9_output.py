@@ -1,0 +1,46 @@
+"""Figure 9: output size and output speed under three compression schemes.
+
+Paper shapes: SOAPsnp text is 14-16x larger than GSNP's output and gzip'd
+text is ~1.5x larger; output (compress+write) is 13-15x faster in GSNP than
+SOAPsnp, and gzip is ~3x slower than the customized CPU codecs.
+"""
+
+import pytest
+
+from repro.bench.harness import exp_fig9, soapsnp_result
+from repro.bench.report import emit_table
+from repro.compress.columnar import encode_table
+
+
+@pytest.mark.parametrize("name", ["ch1-sim", "ch21-sim"])
+def test_fig9_output_size_and_speed(benchmark, name, fractions):
+    data = exp_fig9(name, fractions[name])
+    sizes, speeds = data["sizes"], data["speeds"]
+    gsnp_size = sizes["GSNP"]
+    emit_table(
+        f"Fig 9a — output size ({name}), full-scale bytes",
+        ["scheme", "bytes", "x GSNP"],
+        [(k, f"{v:.3g}", f"{v / gsnp_size:.1f}x") for k, v in sizes.items()],
+        note="paper: SOAPsnp 14-16x, gzip ~1.5x of GSNP",
+    )
+    emit_table(
+        f"Fig 9b — output speed ({name}), full-scale seconds",
+        ["scheme", "seconds", "speedup vs SOAPsnp"],
+        [
+            (k, round(v, 1), f"{speeds['SOAPsnp'] / v:.1f}x")
+            for k, v in speeds.items()
+        ],
+        note="paper: GSNP 13-15x faster than SOAPsnp; gzip ~3x slower than "
+        "GSNP_CPU; GPU ~3x faster than GSNP_CPU",
+    )
+
+    # Size shape.
+    assert sizes["SOAPsnp"] / gsnp_size > 8
+    assert 1.1 < sizes["SOAPsnp_gzip"] / gsnp_size < 2.5
+    # Speed shape.
+    assert speeds["GSNP"] < speeds["GSNP_CPU"] < speeds["SOAPsnp_gzip"]
+    assert speeds["SOAPsnp"] / speeds["GSNP"] > 5
+
+    # Wall-clock: the actual columnar encoder on the scaled table.
+    table = soapsnp_result(name, fractions[name]).table
+    benchmark(lambda: encode_table(table))

@@ -1,0 +1,64 @@
+"""Table I: time breakdown by components in SOAPsnp.
+
+Prints the paper's per-component seconds next to our full-scale modeled
+seconds (scaled-run event counts x cost model x scale factor), and
+benchmarks the scaled likelihood engine — SOAPsnp's dominant component.
+"""
+
+import pytest
+
+from repro.bench.events import COMPONENTS
+from repro.bench.harness import bench_dataset, exp_table1, soapsnp_result
+from repro.bench.report import emit_table, ratio_str
+from repro.soapsnp import SoapsnpPipeline
+
+
+@pytest.mark.parametrize("name", ["ch1-sim", "ch21-sim"])
+def test_table1_breakdown(benchmark, name, fractions):
+    frac = fractions[name]
+    data = exp_table1(name, frac)
+
+    rows = []
+    for c in list(COMPONENTS) + ["total"]:
+        paper = data["paper"][c]
+        model = data["model"].get(c, 0.0)
+        rows.append((c, paper, round(model), ratio_str(model, paper)))
+    emit_table(
+        f"Table I — SOAPsnp breakdown ({name}), seconds at full scale",
+        ["component", "paper", "model", "model/paper"],
+        rows,
+        note=f"scaled run wall: {data['wall_scaled']:.2f}s",
+    )
+
+    # Benchmark the dominant component's actual scaled execution.
+    ds = bench_dataset(name, frac)
+    pipe = SoapsnpPipeline(window_size=4000)
+
+    def run_likelihood_window():
+        # One representative window through the full dense-semantics path.
+        from repro.align.records import AlignmentBatch
+        from repro.formats.window import WindowReader
+        from repro.soapsnp.likelihood import window_type_likely
+        from repro.soapsnp.observe import extract_observations
+
+        res = soapsnp_result(name, frac)
+        batch = AlignmentBatch.from_read_set(ds.reads)
+        window = next(iter(WindowReader(batch, ds.n_sites, 4000)))
+        obs = extract_observations(window)
+        from repro.soapsnp.model import CallingParams
+        from repro.soapsnp.p_matrix import flatten_p_matrix
+
+        params = CallingParams(read_len=batch.read_len)
+        return window_type_likely(
+            obs, flatten_p_matrix(res.p_matrix), params.penalty_table()
+        )
+
+    benchmark(run_likelihood_window)
+
+    # Shape assertions: likelihood dominates, recycle second.
+    model = data["model"]
+    assert model["likelihood"] == max(
+        model[c] for c in COMPONENTS
+    )
+    assert model["recycle"] > model["counting"]
+    assert 0.3 < model["total"] / data["paper"]["total"] < 3.0

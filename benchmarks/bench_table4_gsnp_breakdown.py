@@ -1,0 +1,59 @@
+"""Table IV: GSNP component breakdown and speedup over SOAPsnp."""
+
+import pytest
+
+from repro.bench.events import COMPONENTS
+from repro.bench.harness import bench_dataset, exp_table4
+from repro.bench.report import emit_table, ratio_str
+from repro.core.pipeline import GsnpPipeline
+
+#: Paper Table IV speedups (in parentheses in the paper).
+PAPER_SPEEDUP = {
+    "ch1-sim": {"read_site": 5, "counting": 4, "likelihood": 204,
+                "posterior": 7, "output": 13, "recycle": 2738, "total": 42},
+    "ch21-sim": {"read_site": 4, "counting": 4, "likelihood": 231,
+                 "posterior": 6, "output": 15, "recycle": 1603, "total": 50},
+}
+
+
+@pytest.mark.parametrize("name", ["ch1-sim", "ch21-sim"])
+def test_table4_breakdown(benchmark, name, fractions):
+    frac = fractions[name]
+    data = exp_table4(name, frac)
+
+    rows = []
+    for c in list(COMPONENTS) + ["total"]:
+        paper = data["paper"][c]
+        model = data["model"].get(c, 0.0)
+        sp = data["speedup_model"].get(c)
+        sp_paper = PAPER_SPEEDUP[name].get(c)
+        rows.append(
+            (
+                c, paper, round(model, 1), ratio_str(model, paper),
+                f"{sp:.0f}x" if sp is not None else "-",
+                f"{sp_paper}x" if sp_paper else "-",
+            )
+        )
+    emit_table(
+        f"Table IV — GSNP breakdown ({name}), seconds at full scale",
+        ["component", "paper", "model", "model/paper", "speedup",
+         "paper speedup"],
+        rows,
+        note="bitwise consistency with SOAPsnp: "
+        + ("VERIFIED" if data["consistent"] else "FAILED"),
+    )
+
+    assert data["consistent"]
+    # Speedup shape: >25x end to end, recycle and likelihood the largest.
+    assert data["speedup_model"]["total"] > 25
+    assert data["speedup_model"]["recycle"] > 100
+    assert data["speedup_model"]["likelihood"] > 50
+    assert 0.3 < data["model"]["total"] / data["paper"]["total"] < 3.0
+
+    # Benchmark one full scaled GSNP window pass (cpu mode for wall-clock
+    # stability; the gpu-mode numbers come from the cost model).
+    ds = bench_dataset(name, frac)
+    benchmark.pedantic(
+        lambda: GsnpPipeline(window_size=ds.n_sites, mode="cpu").run(ds),
+        rounds=1, iterations=1,
+    )

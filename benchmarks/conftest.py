@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Set ``REPRO_BENCH_FRACTION`` (e.g. ``1.0``) to run the full 1/1000-scale
+Table-II replica datasets; the default fractions keep the whole suite to a
+few minutes.  All paper-vs-model tables are printed to the real stdout so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def fraction_for(name: str) -> float | None:
+    env = os.environ.get("REPRO_BENCH_FRACTION")
+    if env:
+        return float(env)
+    return None  # harness defaults
+
+
+@pytest.fixture(scope="session")
+def fractions():
+    return {
+        "ch1-sim": fraction_for("ch1-sim"),
+        "ch21-sim": fraction_for("ch21-sim"),
+    }

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a small genome, call SNPs, score against truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DatasetSpec, GsnpDetector, generate_dataset
+from repro.constants import BASES, GENOTYPES, GENOTYPE_IUPAC
+
+
+def main() -> None:
+    # 1. Simulate an individual resequenced at 12x over a 50 kb reference.
+    spec = DatasetSpec(
+        name="chrDemo",
+        n_sites=50_000,
+        depth=12.0,
+        coverage=0.9,
+        snp_rate=1e-3,
+        seed=7,
+    )
+    dataset = generate_dataset(spec)
+    print(
+        f"simulated {dataset.reads.n_reads} reads over "
+        f"{dataset.n_sites} sites; {dataset.diploid.n_snps} SNPs planted"
+    )
+
+    # 2. Call SNPs with the GSNP engine (simulated GPU).  The engines
+    #    "gsnp", "gsnp_cpu" and "soapsnp" all produce identical tables.
+    detector = GsnpDetector(engine="gsnp", min_quality=13)
+    result = detector.run(dataset)
+
+    # 3. Inspect the calls.
+    calls = detector.calls(result.table)
+    print(f"\n{len(calls)} variant calls (quality >= 13):")
+    for call in calls[:15]:
+        a1, a2 = GENOTYPES[call.genotype]
+        print(
+            f"  {call.chrom}:{call.pos}  ref={BASES[call.ref]}  "
+            f"genotype={BASES[a1]}/{BASES[a2]} "
+            f"({GENOTYPE_IUPAC[GENOTYPES[call.genotype]]})  "
+            f"q={call.quality}  depth={call.depth}"
+        )
+    if len(calls) > 15:
+        print(f"  ... and {len(calls) - 15} more")
+
+    # 4. Score against the planted truth.
+    acc = detector.score(result.table, dataset, min_quality=13)
+    print(
+        f"\nprecision={acc.precision:.2f} recall={acc.recall:.2f} "
+        f"(TP={acc.true_positives} FP={acc.false_positives} "
+        f"FN={acc.false_negatives})"
+    )
+
+    # 5. The compressed output is ~13x smaller than SOAPsnp text.
+    print(
+        f"\ncompressed output: {result.output_bytes} bytes "
+        f"(vs ~{result.table.n_sites * 46} bytes of text)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""GSNP reproduction: GPU-accelerated SNP detection (ICPP 2011).
+
+A from-scratch Python reproduction of *GSNP: A DNA Single-Nucleotide
+Polymorphism Detection System with GPU Acceleration* (Lu et al., ICPP
+2011), including every substrate the paper depends on: the SOAPsnp dense
+baseline, a simulated SIMT GPU with hardware counters and a roofline cost
+model, a short-read/diploid-genome simulator, a pigeonhole aligner, the
+multipass batch bitonic sorting network, and the customized columnar
+compression stack.
+
+Quick start::
+
+    from repro import generate_dataset, CH21_SPEC, GsnpDetector
+
+    dataset = generate_dataset(CH21_SPEC)
+    detector = GsnpDetector(engine="gsnp")
+    result = detector.run(dataset)
+    for call in detector.calls(result.table):
+        print(call.pos, call.quality)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .constants import GENOTYPES, GENOTYPE_IUPAC, N_GENOTYPES
+from .core import (
+    Accuracy,
+    GsnpDetector,
+    GsnpPipeline,
+    GsnpResult,
+    SnpCall,
+    detect_snps,
+)
+from .formats.cns import ResultTable, read_cns, write_cns
+from .gpusim import BGI_PLATFORM, Device, GpuCostModel
+from .seqsim import (
+    CH1_SPEC,
+    CH21_SPEC,
+    DatasetSpec,
+    QualityModel,
+    SimulatedDataset,
+    generate_dataset,
+    whole_genome_specs,
+)
+from .soapsnp import CallingParams, SoapsnpPipeline, SoapsnpResult
+from .validate import VerificationReport, verify_engines
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accuracy",
+    "BGI_PLATFORM",
+    "CH1_SPEC",
+    "CH21_SPEC",
+    "CallingParams",
+    "DatasetSpec",
+    "Device",
+    "GENOTYPES",
+    "GENOTYPE_IUPAC",
+    "GpuCostModel",
+    "GsnpDetector",
+    "GsnpPipeline",
+    "GsnpResult",
+    "N_GENOTYPES",
+    "QualityModel",
+    "ResultTable",
+    "SimulatedDataset",
+    "SnpCall",
+    "SoapsnpPipeline",
+    "SoapsnpResult",
+    "VerificationReport",
+    "__version__",
+    "detect_snps",
+    "generate_dataset",
+    "read_cns",
+    "verify_engines",
+    "whole_genome_specs",
+    "write_cns",
+]

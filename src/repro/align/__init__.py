@@ -1,0 +1,12 @@
+"""Alignment substrate: record types and a pigeonhole short-read aligner."""
+
+from .aligner import Aligner, Alignment, KmerIndex, encode_kmers
+from .records import AlignmentBatch
+
+__all__ = [
+    "Aligner",
+    "Alignment",
+    "AlignmentBatch",
+    "KmerIndex",
+    "encode_kmers",
+]

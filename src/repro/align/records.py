@@ -1,0 +1,96 @@
+"""Alignment record types bridging the aligner, file formats and pipelines.
+
+The SNP-calling pipelines consume *alignment batches*: column-oriented
+NumPy arrays mirroring :class:`~repro.seqsim.reads.ReadSet`, because the
+main input file ("hundreds of gigabytes of short read alignment results
+ordered by their matched positions") streams through the pipeline window by
+window and a row-of-objects representation would dominate runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..seqsim.reads import ReadSet
+
+
+@dataclass
+class AlignmentBatch:
+    """A slab of alignment records, sorted by matched position."""
+
+    chrom: str
+    read_len: int
+    pos: np.ndarray  # int64, 0-based leftmost match, sorted ascending
+    strand: np.ndarray  # uint8
+    hits: np.ndarray  # uint8
+    bases: np.ndarray  # uint8 (n, read_len), forward orientation
+    quals: np.ndarray  # uint8 (n, read_len), forward orientation
+
+    @property
+    def n_reads(self) -> int:
+        return int(self.pos.size)
+
+    @staticmethod
+    def empty(chrom: str, read_len: int) -> "AlignmentBatch":
+        return AlignmentBatch(
+            chrom=chrom,
+            read_len=read_len,
+            pos=np.empty(0, dtype=np.int64),
+            strand=np.empty(0, dtype=np.uint8),
+            hits=np.empty(0, dtype=np.uint8),
+            bases=np.empty((0, read_len), dtype=np.uint8),
+            quals=np.empty((0, read_len), dtype=np.uint8),
+        )
+
+    @staticmethod
+    def from_read_set(rs: ReadSet) -> "AlignmentBatch":
+        """Adopt a simulated read set (already position-sorted)."""
+        return AlignmentBatch(
+            chrom=rs.chrom,
+            read_len=rs.read_len,
+            pos=rs.pos,
+            strand=rs.strand,
+            hits=rs.hits,
+            bases=rs.bases,
+            quals=rs.quals,
+        )
+
+    def slice(self, lo: int, hi: int) -> "AlignmentBatch":
+        """Rows [lo, hi) as a view-backed batch."""
+        return AlignmentBatch(
+            chrom=self.chrom,
+            read_len=self.read_len,
+            pos=self.pos[lo:hi],
+            strand=self.strand[lo:hi],
+            hits=self.hits[lo:hi],
+            bases=self.bases[lo:hi],
+            quals=self.quals[lo:hi],
+        )
+
+    def select(self, mask_or_index) -> "AlignmentBatch":
+        """Rows selected by a boolean mask or index array."""
+        return AlignmentBatch(
+            chrom=self.chrom,
+            read_len=self.read_len,
+            pos=self.pos[mask_or_index],
+            strand=self.strand[mask_or_index],
+            hits=self.hits[mask_or_index],
+            bases=self.bases[mask_or_index],
+            quals=self.quals[mask_or_index],
+        )
+
+    def concat(self, other: "AlignmentBatch") -> "AlignmentBatch":
+        """Concatenate two batches (caller guarantees sortedness)."""
+        if other.read_len != self.read_len:
+            raise ValueError("read length mismatch in concat")
+        return AlignmentBatch(
+            chrom=self.chrom,
+            read_len=self.read_len,
+            pos=np.concatenate([self.pos, other.pos]),
+            strand=np.concatenate([self.strand, other.strand]),
+            hits=np.concatenate([self.hits, other.hits]),
+            bases=np.vstack([self.bases, other.bases]),
+            quals=np.vstack([self.quals, other.quals]),
+        )

@@ -1,0 +1,23 @@
+"""Benchmark harness: events, full-scale extrapolation, experiment drivers."""
+
+from .events import COMPONENTS, PhaseRecord, RunProfile
+from .report import emit, emit_table, ratio_str
+from .scale import (
+    TABLE1_PAPER,
+    TABLE4_PAPER,
+    FullScaleBreakdown,
+    extrapolate,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "FullScaleBreakdown",
+    "PhaseRecord",
+    "RunProfile",
+    "TABLE1_PAPER",
+    "TABLE4_PAPER",
+    "emit",
+    "emit_table",
+    "extrapolate",
+    "ratio_str",
+]

@@ -1,0 +1,63 @@
+"""Benchmark report rendering.
+
+Benchmarks print paper-vs-reproduction tables through :func:`emit`.  The
+suite runs with ``-s`` (see pyproject) so the tables land on stdout and in
+``pytest benchmarks/ | tee bench_output.txt``; every line is additionally
+appended to ``$REPRO_REPORT_FILE`` when that variable is set.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterable, Sequence
+
+
+def emit(text: str) -> None:
+    """Write a report line to stdout (and the optional report file)."""
+    print(text, flush=True)
+    path = os.environ.get("REPRO_REPORT_FILE")
+    if path:
+        with open(path, "a") as f:
+            f.write(text + "\n")
+
+
+def emit_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    note: str | None = None,
+) -> None:
+    """Render an aligned text table."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    emit("")
+    emit(f"=== {title} ===")
+    emit(sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    emit(sep.join("-" * w for w in widths))
+    for row in rows:
+        emit(sep.join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    if note:
+        emit(f"note: {note}")
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def ratio_str(ours: float, paper: float) -> str:
+    """Render ours/paper agreement as a factor string."""
+    if paper == 0 or ours == 0:
+        return "n/a"
+    r = ours / paper
+    return f"{r:.2f}x"

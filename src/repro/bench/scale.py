@@ -1,0 +1,81 @@
+"""Full-scale extrapolation of scaled-run event counts.
+
+Every event the pipelines record (bytes scanned, transactions issued,
+logarithms evaluated, text bytes written) grows linearly in the number of
+sites/reads processed, so a run on a 1/1000-scale dataset extrapolates to
+the paper's full dataset by multiplying counts by the scale factor and
+re-applying the cost models.  This is the same reasoning the paper itself
+uses in Formula (1); the benchmarks print paper numbers, modeled
+full-scale numbers, and the scaled run's measured wall time side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.events import COMPONENTS, RunProfile
+from ..gpusim.spec import BGI_PLATFORM, PlatformSpec
+from ..seqsim.datasets import DatasetSpec
+
+
+@dataclass(frozen=True)
+class FullScaleBreakdown:
+    """Modeled full-scale per-component seconds for one run."""
+
+    pipeline: str
+    dataset: str
+    scale_factor: float
+    components: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+
+def extrapolate(
+    profile: RunProfile,
+    spec: DatasetSpec,
+    platform: PlatformSpec = BGI_PLATFORM,
+) -> FullScaleBreakdown:
+    """Scale a run profile to the paper's dataset size and price it."""
+    scaled = profile.scaled(spec.scale_factor)
+    comp = {
+        name: scaled.records[name].modeled_time(platform)
+        for name in COMPONENTS
+        if name in scaled.records
+    }
+    return FullScaleBreakdown(
+        pipeline=profile.pipeline,
+        dataset=spec.name,
+        scale_factor=spec.scale_factor,
+        components=comp,
+    )
+
+
+#: Paper Table I: SOAPsnp per-component seconds.
+TABLE1_PAPER = {
+    "ch1-sim": {
+        "cal_p_matrix": 258, "read_site": 101, "counting": 376,
+        "likelihood": 12267, "posterior": 113, "output": 550,
+        "recycle": 8214, "total": 21879,
+    },
+    "ch21-sim": {
+        "cal_p_matrix": 31, "read_site": 12, "counting": 55,
+        "likelihood": 1854, "posterior": 17, "output": 103,
+        "recycle": 1603, "total": 3675,
+    },
+}
+
+#: Paper Table IV: GSNP per-component seconds (speedups in the paper text).
+TABLE4_PAPER = {
+    "ch1-sim": {
+        "cal_p_matrix": 297, "read_site": 20, "counting": 87,
+        "likelihood": 60, "posterior": 16, "output": 44,
+        "recycle": 3, "total": 527,
+    },
+    "ch21-sim": {
+        "cal_p_matrix": 37, "read_site": 3, "counting": 14,
+        "likelihood": 8, "posterior": 3, "output": 7,
+        "recycle": 1, "total": 73,
+    },
+}

@@ -1,0 +1,268 @@
+"""Command-line tools: simulate datasets, call SNPs, decompress results.
+
+Three entry points mirror how the original system is operated:
+
+* ``gsnp-simulate`` — generate a synthetic dataset (reference FASTA, SOAP
+  alignment file, known-SNP prior file).
+* ``gsnp-call`` — run SNP detection over those files with any engine
+  (``gsnp``, ``gsnp_cpu`` or ``soapsnp``) and write text or compressed
+  output.
+* ``gsnp-decompress`` — the decompression tool of Section V-B: convert a
+  compressed result back to SOAPsnp text, optionally filtered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .align.records import AlignmentBatch
+from .compress.reader import CompressedResultReader
+from .core.detector import GsnpDetector
+from .core.pipeline import GsnpPipeline
+from .formats.cns import write_cns
+from .formats.fasta import read_fasta, write_fasta
+from .formats.prior import read_prior, write_prior
+from .formats.soap import read_soap, write_soap
+from .seqsim.datasets import (
+    DatasetSpec,
+    SimulatedDataset,
+    generate_dataset,
+)
+from .soapsnp.pipeline import SoapsnpPipeline
+from .soapsnp.posterior import is_snp_call
+
+
+def main_simulate(argv=None) -> int:
+    """Generate a synthetic dataset and write its three input files."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-simulate", description=main_simulate.__doc__
+    )
+    p.add_argument("--name", default="chrSim")
+    p.add_argument("--sites", type=int, default=50_000)
+    p.add_argument("--depth", type=float, default=10.0)
+    p.add_argument("--coverage", type=float, default=0.85)
+    p.add_argument("--read-len", type=int, default=100)
+    p.add_argument("--snp-rate", type=float, default=1e-3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--prefix", default="simdata", help="output file prefix")
+    args = p.parse_args(argv)
+
+    spec = DatasetSpec(
+        name=args.name,
+        n_sites=args.sites,
+        depth=args.depth,
+        coverage=args.coverage,
+        read_len=args.read_len,
+        snp_rate=args.snp_rate,
+        seed=args.seed,
+    )
+    ds = generate_dataset(spec)
+    write_fasta(f"{args.prefix}.fa", [ds.reference])
+    write_soap(f"{args.prefix}.soap", AlignmentBatch.from_read_set(ds.reads))
+    write_prior(f"{args.prefix}.prior", ds.reference.name, ds.prior)
+    np.savetxt(
+        f"{args.prefix}.truth",
+        np.column_stack(
+            [ds.diploid.snp_positions + 1, ds.diploid.snp_genotypes]
+        ),
+        fmt="%d",
+        header="pos allele1 allele2",
+    )
+    print(
+        f"wrote {args.prefix}.fa / .soap / .prior / .truth "
+        f"({ds.reads.n_reads} reads, {ds.diploid.n_snps} planted SNPs)"
+    )
+    return 0
+
+
+def main_call(argv=None) -> int:
+    """Run SNP detection over (fasta, soap, prior) input files."""
+    p = argparse.ArgumentParser(prog="gsnp-call", description=main_call.__doc__)
+    p.add_argument("fasta")
+    p.add_argument("soap")
+    p.add_argument("--prior", default=None)
+    p.add_argument(
+        "--engine", choices=("gsnp", "gsnp_cpu", "soapsnp"), default="gsnp"
+    )
+    p.add_argument("--window", type=int, default=256_000)
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument(
+        "--compressed",
+        action="store_true",
+        help="write GSNP compressed output instead of text",
+    )
+    p.add_argument("--min-quality", type=int, default=13)
+    args = p.parse_args(argv)
+
+    reference = read_fasta(args.fasta)[0]
+    batch = read_soap(args.soap)
+    if args.prior:
+        prior = read_prior(args.prior, chrom=reference.name)
+    else:
+        from .seqsim.datasets import KnownSnpPrior
+
+        prior = KnownSnpPrior(
+            positions=np.empty(0, dtype=np.int64),
+            rates=np.empty(0, dtype=np.float64),
+        )
+
+    # Wrap the parsed files in the dataset container the pipelines consume.
+    from .seqsim.diploid import Diploid
+    from .seqsim.reads import ReadSet
+
+    rs = ReadSet(
+        chrom=reference.name,
+        read_len=batch.read_len,
+        pos=batch.pos,
+        strand=batch.strand,
+        hits=batch.hits,
+        bases=batch.bases,
+        quals=batch.quals,
+    )
+    ds = SimulatedDataset(
+        spec=DatasetSpec(
+            name=reference.name,
+            n_sites=reference.length,
+            depth=0.0,
+            coverage=1.0,
+            read_len=batch.read_len,
+        ),
+        reference=reference,
+        diploid=Diploid(
+            reference=reference,
+            hap1=reference.codes,
+            hap2=reference.codes,
+            snp_positions=np.empty(0, dtype=np.int64),
+            snp_genotypes=np.empty((0, 2), dtype=np.uint8),
+        ),
+        reads=rs,
+        prior=prior,
+    )
+
+    t0 = time.perf_counter()
+    if args.engine == "soapsnp":
+        result = SoapsnpPipeline(window_size=min(args.window, 4000)).run(ds)
+    else:
+        result = GsnpPipeline(
+            window_size=args.window,
+            mode="gpu" if args.engine == "gsnp" else "cpu",
+        ).run(ds)
+    dt = time.perf_counter() - t0
+
+    table = result.table
+    if args.output:
+        if args.compressed:
+            if args.engine == "soapsnp":
+                from .compress.columnar import encode_table
+
+                blob = encode_table(table)
+            else:
+                blob = result.compressed_output
+            with open(args.output, "wb") as f:
+                f.write(blob)
+        else:
+            write_cns(args.output, table)
+    snps = is_snp_call(table) & (table.quality >= args.min_quality)
+    print(
+        f"{args.engine}: {table.n_sites} sites, {int(snps.sum())} SNP calls "
+        f"(q>={args.min_quality}) in {dt:.2f}s"
+        + (f" -> {args.output}" if args.output else "")
+    )
+    return 0
+
+
+def main_decompress(argv=None) -> int:
+    """Decompress a GSNP result file back to SOAPsnp text."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-decompress", description=main_decompress.__doc__
+    )
+    p.add_argument("input")
+    p.add_argument("-o", "--output", default=None, help="default: stdout")
+    p.add_argument("--snps-only", action="store_true")
+    p.add_argument(
+        "--range",
+        default=None,
+        help="1-based position range LO:HI (half-open)",
+    )
+    args = p.parse_args(argv)
+
+    reader = CompressedResultReader(args.input)
+    if args.range:
+        lo, hi = (int(x) for x in args.range.split(":"))
+        table = reader.query_range(lo, hi)
+    elif args.snps_only:
+        table = reader.query_snps()
+    else:
+        table = reader.read_all()
+    if args.output:
+        nbytes = write_cns(args.output, table)
+        print(f"wrote {table.n_sites} rows ({nbytes} bytes) to {args.output}")
+    else:
+        from .formats.cns import format_rows
+
+        sys.stdout.write(format_rows(table).decode())
+    return 0
+
+
+def main_bench(argv=None) -> int:
+    """Regenerate the paper's tables/figures as CSV files."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-bench", description=main_bench.__doc__
+    )
+    p.add_argument("-o", "--out-dir", default="results")
+    p.add_argument(
+        "--fraction", type=float, default=None,
+        help="dataset shrink factor (default: harness defaults)",
+    )
+    p.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment ids (e.g. table1,fig5)",
+    )
+    args = p.parse_args(argv)
+
+    from .bench.export import export_all
+
+    kwargs = {}
+    if args.only:
+        kwargs["include"] = tuple(args.only.split(","))
+    written = export_all(args.out_dir, fraction=args.fraction, **kwargs)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def main_verify(argv=None) -> int:
+    """Run the cross-engine consistency audit on a simulated dataset."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-verify", description=main_verify.__doc__
+    )
+    p.add_argument("--sites", type=int, default=10_000)
+    p.add_argument("--depth", type=float, default=10.0)
+    p.add_argument("--coverage", type=float, default=0.9)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--windows", default="1000,4096",
+        help="comma-separated window sizes to check invariance over",
+    )
+    args = p.parse_args(argv)
+
+    from .validate import verify_engines
+
+    ds = generate_dataset(
+        DatasetSpec(
+            name="chrVerify", n_sites=args.sites, depth=args.depth,
+            coverage=args.coverage, seed=args.seed,
+        )
+    )
+    windows = tuple(int(w) for w in args.windows.split(","))
+    report = verify_engines(ds, window_sizes=windows)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_call())

@@ -1,0 +1,231 @@
+"""Column-based compression of the 17-column result table and the input.
+
+"Column-based compression is applied for each window" (Section V-B).  The
+container holds one block per window; each block stores the chromosome
+name + site count once (columns 1-2 collapse to a constant and a range)
+and a per-column payload using the codec that matches the column's
+characteristics:
+
+========================= ============== =====================================
+column                    codec          rationale (paper)
+========================= ============== =====================================
+chrom, pos                implicit       "only the sequence name and the
+                                         number of sites"
+ref/best base             TWOBIT         "two bits ... for four base types"
+genotype                  EXCEPTION      "store differences" vs hom-reference
+second base               SPARSE         second-allele columns are sparse
+avg qual 2nd, counts 2nd  SPARSE         same
+quality, avg qual best,   RLE-DICT       six quality-related columns:
+depth, rank-sum, copy num                <100 distinct values, long runs
+count uni/all best        DICT           few distinct values, short runs
+known-SNP flag            SPARSE         low SNP probability
+========================= ============== =====================================
+
+The GPU path encodes the six RLE-DICT columns with the device kernels of
+:mod:`repro.compress.rle_dict` (the paper GPU-accelerates exactly those);
+output bytes are identical either way.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..align.records import AlignmentBatch
+from ..constants import GENOTYPES, N_BASES
+from ..errors import CodecError
+from ..formats.cns import NO_BASE, ResultTable
+from ..gpusim.device import Device
+from .bitpack import pack_bits, unpack_bits
+from .delta import delta_decode, delta_encode
+from .dictionary import dict_decode, dict_encode
+from .rle_dict import rle_dict_decode, rle_dict_encode, rle_dict_encode_gpu
+from .sparse import (
+    exception_decode,
+    exception_encode,
+    sparse_decode,
+    sparse_encode,
+)
+from .twobit import twobit_decode, twobit_encode
+
+_MAGIC = b"GSNPC1"
+_MAGIC_ALN = b"GSNPA1"
+
+#: Genotype index of hom-ref for each reference base (prediction column).
+_HOM_REF = np.array(
+    [GENOTYPES.index((r, r)) for r in range(N_BASES)], dtype=np.uint8
+)
+
+#: The six quality-related columns the paper GPU-accelerates with RLE-DICT.
+RLE_DICT_COLUMNS = (
+    "quality",
+    "avg_qual_best",
+    "depth",
+    "rank_sum",
+    "copy_num",
+    "count_all_best",
+)
+
+
+def _quantize100(values: np.ndarray) -> np.ndarray:
+    """Two-decimal floats -> integer hundredths (lossless round trip)."""
+    return np.rint(values.astype(np.float64) * 100.0).astype(np.uint16)
+
+
+def _dequantize100(values: np.ndarray) -> np.ndarray:
+    return (values.astype(np.float64) / 100.0).astype(np.float32)
+
+
+def encode_table(table: ResultTable, device: Device | None = None) -> bytes:
+    """Encode one window's table into a container block."""
+    rd = (
+        (lambda v: rle_dict_encode_gpu(device, v))
+        if device is not None
+        else rle_dict_encode
+    )
+    n = table.n_sites
+    if n:
+        if np.any(np.diff(table.pos) != 1):
+            raise CodecError("table positions must be consecutive")
+    blocks: list[tuple[str, bytes]] = [
+        ("ref_base", twobit_encode(table.ref_base)),
+        ("genotype", exception_encode(table.genotype, _HOM_REF[table.ref_base])),
+        ("quality", rd(table.quality)),
+        ("best_base", twobit_encode(table.best_base)),
+        ("avg_qual_best", rd(table.avg_qual_best)),
+        # RLE-DICT, but host-side: only the six quality-related columns go
+        # through the GPU kernels (Section V-B); bytes are identical.
+        ("count_uni_best", rle_dict_encode(table.count_uni_best)),
+        ("count_all_best", rd(table.count_all_best)),
+        ("second_base", sparse_encode(table.second_base, NO_BASE)),
+        ("avg_qual_second", sparse_encode(table.avg_qual_second, 0)),
+        ("count_uni_second", sparse_encode(table.count_uni_second, 0)),
+        ("count_all_second", sparse_encode(table.count_all_second, 0)),
+        ("depth", rd(table.depth)),
+        ("rank_sum", rd(_quantize100(table.rank_sum))),
+        ("copy_num", rd(_quantize100(table.copy_num))),
+        ("known_snp", sparse_encode(table.known_snp, 0)),
+    ]
+    chrom_b = table.chrom.encode()
+    start = int(table.pos[0]) if n else 0
+    out = [
+        _MAGIC,
+        struct.pack("<H", len(chrom_b)),
+        chrom_b,
+        struct.pack("<IqB", n, start, len(blocks)),
+    ]
+    for name, payload in blocks:
+        name_b = name.encode()
+        out.append(struct.pack("<BI", len(name_b), len(payload)))
+        out.append(name_b)
+        out.append(payload)
+    return b"".join(out)
+
+
+def decode_table(data: bytes, offset: int = 0) -> tuple[ResultTable, int]:
+    """Decode one container block; returns (table, next offset)."""
+    if data[offset : offset + 6] != _MAGIC:
+        raise CodecError("bad container magic")
+    offset += 6
+    (clen,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    chrom = data[offset : offset + clen].decode()
+    offset += clen
+    n, start, n_blocks = struct.unpack_from("<IqB", data, offset)
+    offset += 13
+    payloads: dict[str, bytes] = {}
+    for _ in range(n_blocks):
+        nlen, plen = struct.unpack_from("<BI", data, offset)
+        offset += 5
+        name = data[offset : offset + nlen].decode()
+        offset += nlen
+        payloads[name] = data[offset : offset + plen]
+        offset += plen
+
+    ref_base = twobit_decode(payloads["ref_base"])
+    table = ResultTable(
+        chrom=chrom,
+        pos=start + np.arange(n, dtype=np.int64),
+        ref_base=ref_base,
+        genotype=exception_decode(payloads["genotype"], _HOM_REF[ref_base]),
+        quality=rle_dict_decode(payloads["quality"]).astype(np.uint8),
+        best_base=twobit_decode(payloads["best_base"]),
+        avg_qual_best=rle_dict_decode(payloads["avg_qual_best"]).astype(np.uint8),
+        count_uni_best=rle_dict_decode(payloads["count_uni_best"]).astype(
+            np.uint16
+        ),
+        count_all_best=rle_dict_decode(payloads["count_all_best"]).astype(np.uint16),
+        second_base=sparse_decode(payloads["second_base"]),
+        avg_qual_second=sparse_decode(payloads["avg_qual_second"]),
+        count_uni_second=sparse_decode(payloads["count_uni_second"]),
+        count_all_second=sparse_decode(payloads["count_all_second"]),
+        depth=rle_dict_decode(payloads["depth"]).astype(np.uint16),
+        rank_sum=_dequantize100(rle_dict_decode(payloads["rank_sum"])),
+        copy_num=_dequantize100(rle_dict_decode(payloads["copy_num"])),
+        known_snp=sparse_decode(payloads["known_snp"]),
+    )
+    return table, offset
+
+
+# ---------------------------------------------------------------------------
+# Temporary input compression (Section V-A)
+# ---------------------------------------------------------------------------
+
+
+def encode_alignments(batch: AlignmentBatch) -> bytes:
+    """Compress an alignment batch (the cal_p_matrix temporary file).
+
+    Positions are delta-coded (the file is position-sorted), strands are
+    one bit, hit counts are sparse around 1, bases take two bits, and the
+    binned qualities go through RLE-DICT.
+    """
+    n = batch.n_reads
+    chrom_b = batch.chrom.encode()
+    parts = [
+        _MAGIC_ALN,
+        struct.pack("<HIH", len(chrom_b), n, batch.read_len),
+        chrom_b,
+    ]
+    payloads = [
+        delta_encode(batch.pos),
+        struct.pack("<I", n) + pack_bits(batch.strand, 1),
+        sparse_encode(batch.hits, 1),
+        twobit_encode(batch.bases.reshape(-1)),
+        rle_dict_encode(batch.quals.reshape(-1)),
+    ]
+    for p in payloads:
+        parts.append(struct.pack("<I", len(p)))
+        parts.append(p)
+    return b"".join(parts)
+
+
+def decode_alignments(data: bytes) -> AlignmentBatch:
+    """Inverse of :func:`encode_alignments`."""
+    if data[:6] != _MAGIC_ALN:
+        raise CodecError("bad alignment container magic")
+    clen, n, read_len = struct.unpack_from("<HIH", data, 6)
+    offset = 14
+    chrom = data[offset : offset + clen].decode()
+    offset += clen
+    payloads = []
+    for _ in range(5):
+        (plen,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        payloads.append(data[offset : offset + plen])
+        offset += plen
+    pos = delta_decode(payloads[0])
+    (sn,) = struct.unpack_from("<I", payloads[1], 0)
+    strand = unpack_bits(payloads[1][4:], 1, sn).astype(np.uint8)
+    hits = sparse_decode(payloads[2])
+    bases = twobit_decode(payloads[3]).reshape(n, read_len)
+    quals = rle_dict_decode(payloads[4]).astype(np.uint8).reshape(n, read_len)
+    return AlignmentBatch(
+        chrom=chrom,
+        read_len=read_len,
+        pos=pos,
+        strand=strand,
+        hits=hits,
+        bases=bases,
+        quals=quals,
+    )

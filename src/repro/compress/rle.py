@@ -1,0 +1,45 @@
+"""Run-length encoding (first level of RLE-DICT, Section V-B).
+
+Quality-related columns repeat for "usually around tens of consecutive
+sites" because bases on a short read share sequencing quality; RLE turns a
+column into (run values, run lengths), both of which the DICT level then
+compresses further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+
+
+def rle_encode(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode into (run_values, run_lengths); lengths are int64."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return values[:0].copy(), np.empty(0, dtype=np.int64)
+    change = np.concatenate([[True], values[1:] != values[:-1]])
+    starts = np.nonzero(change)[0]
+    lengths = np.diff(np.concatenate([starts, [values.size]]))
+    return values[starts].copy(), lengths.astype(np.int64)
+
+
+def rle_decode(
+    run_values: np.ndarray, run_lengths: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`rle_encode`."""
+    run_values = np.asarray(run_values)
+    run_lengths = np.asarray(run_lengths)
+    if run_values.shape != run_lengths.shape:
+        raise CodecError("run value/length arrays differ in shape")
+    if run_lengths.size and int(run_lengths.min()) <= 0:
+        raise CodecError("run lengths must be positive")
+    return np.repeat(run_values, run_lengths)
+
+
+def mean_run_length(values: np.ndarray) -> float:
+    """Average run length of a column (diagnostic for codec choice)."""
+    v, _ = rle_encode(values)
+    if v.size == 0:
+        return 0.0
+    return values.size / v.size

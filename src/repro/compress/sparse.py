@@ -1,0 +1,95 @@
+"""Sparse and exception (difference) column codecs (Section V-B).
+
+* :func:`sparse_encode` — "a certain number of columns related to the
+  second allele are sparse.  Then we only store non-zero elements": the
+  column is stored as (positions, values) of entries differing from a
+  constant default.
+* :func:`exception_encode` — "several columns related to SNPs are similar
+  due to the low probability of SNPs.  We only need to store differences":
+  the column is stored as its differences against a *predicted* column the
+  decoder can reconstruct (e.g. the hom-reference genotype derived from
+  the reference-base column).
+
+Exception positions are sorted, so they are delta-coded and bit-packed;
+exception values go through DICT — both levels reuse the package's own
+primitives, keeping every byte accounted for.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import CodecError
+from .delta import delta_decode, delta_encode
+from .dictionary import dict_decode, dict_encode, dtype_tag, tag_dtype
+
+
+def _encode_exceptions(idx: np.ndarray, values: np.ndarray) -> bytes:
+    """Shared payload: delta-packed positions + DICT-packed values."""
+    idx_blob = delta_encode(idx.astype(np.int64))
+    val_blob = dict_encode(values)
+    return (
+        struct.pack("<II", len(idx_blob), len(val_blob)) + idx_blob + val_blob
+    )
+
+
+def _decode_exceptions(data: bytes, offset: int) -> tuple[np.ndarray, np.ndarray]:
+    ni, nv = struct.unpack_from("<II", data, offset)
+    offset += 8
+    idx = delta_decode(data[offset : offset + ni])
+    values = dict_decode(data[offset + ni : offset + ni + nv])
+    return idx, values
+
+
+def sparse_encode(values: np.ndarray, default) -> bytes:
+    """Store only the entries that differ from ``default``."""
+    values = np.asarray(values)
+    tag = dtype_tag(values.dtype)
+    idx = np.nonzero(values != values.dtype.type(default))[0]
+    if values.size >= 1 << 32:
+        raise CodecError("column too long for uint32 positions")
+    header = struct.pack("<IBd", values.size, tag, float(default))
+    return header + _encode_exceptions(idx, values[idx])
+
+
+def sparse_decode(data: bytes) -> np.ndarray:
+    """Inverse of :func:`sparse_encode`."""
+    if len(data) < 13:
+        raise CodecError("truncated sparse header")
+    count, tag, default = struct.unpack_from("<IBd", data, 0)
+    dt = tag_dtype(tag)
+    idx, vals = _decode_exceptions(data, 13)
+    out = np.full(count, dt.type(default), dtype=dt)
+    out[idx.astype(np.int64)] = vals.astype(dt)
+    return out
+
+
+def exception_encode(values: np.ndarray, predicted: np.ndarray) -> bytes:
+    """Store only the entries where ``values`` differs from ``predicted``."""
+    values = np.asarray(values)
+    predicted = np.asarray(predicted, dtype=values.dtype)
+    if values.shape != predicted.shape:
+        raise CodecError("prediction shape mismatch")
+    tag = dtype_tag(values.dtype)
+    idx = np.nonzero(values != predicted)[0]
+    header = struct.pack("<IB", values.size, tag)
+    return header + _encode_exceptions(idx, values[idx])
+
+
+def exception_decode(data: bytes, predicted: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`exception_encode` given the same prediction."""
+    if len(data) < 5:
+        raise CodecError("truncated exception header")
+    count, tag = struct.unpack_from("<IB", data, 0)
+    dt = tag_dtype(tag)
+    predicted = np.asarray(predicted, dtype=dt)
+    if predicted.size != count:
+        raise CodecError(
+            f"prediction has {predicted.size} entries, column has {count}"
+        )
+    idx, vals = _decode_exceptions(data, 5)
+    out = predicted.copy()
+    out[idx.astype(np.int64)] = vals.astype(dt)
+    return out

@@ -1,0 +1,30 @@
+"""2-bit nucleotide encoding for base-type columns (Section V-B).
+
+"For the three columns containing four base types, two bits are used to
+encode each type."
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import CodecError
+from .bitpack import pack_bits, unpack_bits
+
+
+def twobit_encode(codes: np.ndarray) -> bytes:
+    """Encode base codes (0..3) at two bits each."""
+    codes = np.asarray(codes)
+    if codes.size and int(codes.max()) > 3:
+        raise CodecError("two-bit codec requires values in 0..3")
+    return struct.pack("<I", codes.size) + pack_bits(codes, 2)
+
+
+def twobit_decode(data: bytes) -> np.ndarray:
+    """Inverse of :func:`twobit_encode`; returns uint8 codes."""
+    if len(data) < 4:
+        raise CodecError("truncated two-bit header")
+    (count,) = struct.unpack_from("<I", data, 0)
+    return unpack_bits(data[4:], 2, count).astype(np.uint8)

@@ -1,0 +1,162 @@
+"""Global constants shared across the GSNP reproduction.
+
+These pin down the matrix geometry and bit layouts that the paper's
+Algorithms 1-4 rely on.  All encodings follow Section IV of the paper:
+
+* ``base_occ`` is the dense per-site aligned-base matrix of shape
+  ``base x score x coord x strand`` = 4 x 64 x 256 x 2 = 131,072 cells.
+* ``base_word`` packs one aligned-base observation into a 32-bit word as
+  ``base << 15 | score << 9 | coord << 1 | strand`` (Figure 3).
+* ``p_matrix`` is indexed as ``q << 12 | coord << 4 | allele << 2 | base``
+  (Algorithm 2).
+* ``new_p_matrix`` is indexed as ``(q << 10 | coord << 2 | base) * 10 + i``
+  where ``i`` is the i-th of the ten unordered diploid genotypes
+  (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Alphabet
+# ---------------------------------------------------------------------------
+
+#: Number of nucleotide base types (A, C, G, T).
+N_BASES = 4
+
+#: Canonical base ordering used for all integer encodings.
+BASES = "ACGT"
+
+#: base char -> small int (A=0, C=1, G=2, T=3).
+BASE_TO_CODE = {b: i for i, b in enumerate(BASES)}
+
+#: small int -> base char.
+CODE_TO_BASE = {i: b for i, b in enumerate(BASES)}
+
+#: Complement map at the code level (A<->T, C<->G).
+COMPLEMENT_CODE = np.array([3, 2, 1, 0], dtype=np.uint8)
+
+#: Unknown/missing base marker in text formats.
+N_CHAR = "N"
+
+# ---------------------------------------------------------------------------
+# Matrix geometry (Section IV-A)
+# ---------------------------------------------------------------------------
+
+#: Number of distinct sequencing quality scores (Phred 0..63).
+N_SCORES = 64
+
+#: Maximum read length supported by the coordinate dimension.
+MAX_READ_LEN = 256
+
+#: Number of strands (forward=0, reverse=1).
+N_STRANDS = 2
+
+#: Elements per site in the dense ``base_occ`` matrix (= 131,072).
+BASE_OCC_SIZE = N_BASES * N_SCORES * MAX_READ_LEN * N_STRANDS
+
+# ---------------------------------------------------------------------------
+# base_word bit layout (Figure 3): base<<15 | score<<9 | coord<<1 | strand
+# ---------------------------------------------------------------------------
+
+STRAND_SHIFT = 0
+COORD_SHIFT = 1
+SCORE_SHIFT = 9
+BASE_SHIFT = 15
+
+STRAND_BITS = 1
+COORD_BITS = 8
+SCORE_BITS = 6
+BASE_BITS = 2
+
+STRAND_MASK = ((1 << STRAND_BITS) - 1) << STRAND_SHIFT
+COORD_MASK = ((1 << COORD_BITS) - 1) << COORD_SHIFT
+SCORE_MASK = ((1 << SCORE_BITS) - 1) << SCORE_SHIFT
+BASE_MASK = ((1 << BASE_BITS) - 1) << BASE_SHIFT
+
+#: XOR-ing a base_word with this mask inverts the score field so that an
+#: ascending sort yields the canonical iteration order of Algorithm 1
+#: (base ascending, score DESCENDING, coord ascending, strand ascending).
+CANONICAL_SORT_MASK = SCORE_MASK
+
+#: Sentinel used to pad batch-sort buckets; sorts after every real word.
+BASE_WORD_SENTINEL = np.uint32(0xFFFFFFFF)
+
+# ---------------------------------------------------------------------------
+# Genotypes
+# ---------------------------------------------------------------------------
+
+#: The ten unordered diploid genotypes (allele1 <= allele2), in the order
+#: produced by the two nested loops of Algorithm 1 lines 11-12.
+GENOTYPES = tuple(
+    (a1, a2) for a1 in range(N_BASES) for a2 in range(a1, N_BASES)
+)
+
+#: Number of unordered diploid genotypes.
+N_GENOTYPES = len(GENOTYPES)  # == 10
+
+#: Map (a1, a2) -> index in GENOTYPES order.
+GENOTYPE_INDEX = {g: i for i, g in enumerate(GENOTYPES)}
+
+#: Dense 16-slot index used by SOAPsnp's ``type_likely[a1<<2|a2]`` layout;
+#: maps a1<<2|a2 -> compact genotype index (or -1 for a1 > a2 slots).
+DENSE_TO_COMPACT = np.full(16, -1, dtype=np.int8)
+for _i, (_a1, _a2) in enumerate(GENOTYPES):
+    DENSE_TO_COMPACT[(_a1 << 2) | _a2] = _i
+
+#: IUPAC ambiguity code for each genotype (AA=A, AC=M, ...).
+GENOTYPE_IUPAC = {
+    (0, 0): "A", (1, 1): "C", (2, 2): "G", (3, 3): "T",
+    (0, 1): "M", (0, 2): "R", (0, 3): "W",
+    (1, 2): "S", (1, 3): "Y", (2, 3): "K",
+}
+
+#: IUPAC char -> genotype tuple (inverse of GENOTYPE_IUPAC).
+IUPAC_GENOTYPE = {v: k for k, v in GENOTYPE_IUPAC.items()}
+
+#: Transitions are A<->G and C<->T; all other substitutions are
+#: transversions.  Used for genotype priors (ti/tv weighting).
+TRANSITIONS = {(0, 2), (2, 0), (1, 3), (3, 1)}
+
+# ---------------------------------------------------------------------------
+# p_matrix / new_p_matrix layouts (Algorithms 2 and 3)
+# ---------------------------------------------------------------------------
+
+#: Number of entries in ``p_matrix`` (q x coord x allele x base).
+P_MATRIX_SIZE = N_SCORES * MAX_READ_LEN * N_BASES * N_BASES
+
+P_Q_SHIFT = 12
+P_COORD_SHIFT = 4
+P_ALLELE_SHIFT = 2
+P_BASE_SHIFT = 0
+
+#: Number of entries in ``new_p_matrix`` = 10 genotype-expanded copies.
+NEW_P_MATRIX_SIZE = N_SCORES * MAX_READ_LEN * N_BASES * N_GENOTYPES
+
+NP_Q_SHIFT = 10
+NP_COORD_SHIFT = 2
+NP_BASE_SHIFT = 0
+
+# ---------------------------------------------------------------------------
+# Pipeline defaults (Section VI-A)
+# ---------------------------------------------------------------------------
+
+#: Default per-window number of sites for GSNP / GSNP_CPU.
+DEFAULT_WINDOW_GSNP = 256_000
+
+#: Default per-window number of sites for the SOAPsnp baseline.
+DEFAULT_WINDOW_SOAPSNP = 4_000
+
+#: Default read length for second-generation data used in the evaluation.
+DEFAULT_READ_LEN = 100
+
+#: Maximum consensus quality reported in the output.
+MAX_CNS_QUALITY = 99
+
+#: Multipass sort size-class boundaries (Section VI-C): buckets are
+#: [0,1], (1,8], (8,16], (16,32], (32,64], (64, inf).
+MULTIPASS_BOUNDS = (1, 8, 16, 32, 64)
+
+#: Number of output columns in the SOAPsnp .cns result table.
+N_OUTPUT_COLUMNS = 17

@@ -1,0 +1,88 @@
+"""Sparse aligned-base representation ``base_word`` (Section IV-B).
+
+Each counted observation packs into one 32-bit word
+``base<<15 | score<<9 | coord<<1 | strand`` (Figure 3); one word per
+*occurrence* (no counts are stored, so counting never searches).  The
+canonical iteration order of Algorithm 1 is base ascending, score
+**descending**, coord ascending, strand ascending — an ascending sort of
+``word XOR SCORE_MASK`` (score field inverted) realizes exactly that order,
+which is the key transform :func:`canonical_keys` applies before the
+multipass sort and :func:`decode_keys` removes afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import (
+    BASE_MASK,
+    BASE_SHIFT,
+    CANONICAL_SORT_MASK,
+    COORD_MASK,
+    COORD_SHIFT,
+    SCORE_MASK,
+    SCORE_SHIFT,
+    STRAND_MASK,
+    STRAND_SHIFT,
+)
+from ..soapsnp.observe import Observations
+
+
+def pack_words(
+    base: np.ndarray, score: np.ndarray, coord: np.ndarray, strand: np.ndarray
+) -> np.ndarray:
+    """Pack observation fields into uint32 base_words."""
+    return (
+        base.astype(np.uint32) << BASE_SHIFT
+        | score.astype(np.uint32) << SCORE_SHIFT
+        | coord.astype(np.uint32) << COORD_SHIFT
+        | strand.astype(np.uint32) << STRAND_SHIFT
+    )
+
+
+def extract_words(
+    words: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Unpack base_words into (base, score, coord, strand) uint8 arrays."""
+    w = words.astype(np.uint32)
+    base = ((w & BASE_MASK) >> BASE_SHIFT).astype(np.uint8)
+    score = ((w & SCORE_MASK) >> SCORE_SHIFT).astype(np.uint8)
+    coord = ((w & COORD_MASK) >> COORD_SHIFT).astype(np.uint8)
+    strand = ((w & STRAND_MASK) >> STRAND_SHIFT).astype(np.uint8)
+    return base, score, coord, strand
+
+
+def canonical_keys(words: np.ndarray) -> np.ndarray:
+    """Transform words so ascending sort yields canonical order."""
+    return words ^ np.uint32(CANONICAL_SORT_MASK)
+
+
+def decode_keys(keys: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`canonical_keys` (the transform is an involution)."""
+    return keys ^ np.uint32(CANONICAL_SORT_MASK)
+
+
+def words_from_observations(
+    obs: Observations, arrival_order: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build per-site base_word segments from counted observations.
+
+    Returns ``(words, offsets)`` where ``offsets`` has ``n_sites + 1``
+    entries.  With ``arrival_order`` (the realistic case) words within a
+    site appear in input-arrival order — *unsorted*, which is why GSNP
+    needs ``likelihood_sort``.  With ``arrival_order=False`` the canonical
+    order of the observations is kept (useful for testing the sort).
+    """
+    sel = np.nonzero(obs.counted)[0]
+    site = obs.site[sel]
+    words = pack_words(
+        obs.base[sel], obs.score[sel], obs.coord[sel], obs.strand[sel]
+    )
+    if arrival_order and hasattr(obs, "arrival") and obs.arrival is not None:
+        arr = obs.arrival[sel]
+        order = np.lexsort((arr, site))
+        words = words[order]
+        site = site[order]
+    counts = np.bincount(site, minlength=obs.n_sites)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return words, offsets

@@ -1,0 +1,287 @@
+"""GSNP likelihood calculation on the simulated GPU (Algorithm 4).
+
+``likelihood = likelihood_sort + likelihood_comp``:
+
+* :func:`gsnp_likelihood_sort` restores canonical order in every site's
+  ``base_word`` array with the multipass batch bitonic network
+  (Section IV-C), via the score-inverting key transform.
+* :func:`gsnp_likelihood_comp` runs the per-site computation with one
+  thread per site (the paper's baseline parallelization), in lockstep over
+  the simulated device so hardware counters reflect real coalescing.
+
+Four kernel variants reproduce Figure 8 / Table III:
+
+========== ============= ====================
+variant     type_likely   score source
+========== ============= ====================
+baseline    global memory p_matrix + log10
+w/ shared   shared memory p_matrix + log10
+w/ table    global memory new_p_matrix lookup
+optimized   shared memory new_p_matrix lookup
+========== ============= ====================
+
+All four produce **bitwise identical** results (the math is the same; the
+table entries were computed by the same IEEE operations) — only the
+counters differ, exactly the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    GENOTYPES,
+    MAX_READ_LEN,
+    N_GENOTYPES,
+    N_STRANDS,
+)
+from ..gpusim.device import Device
+from ..gpusim.memory import DeviceArray
+from ..soapsnp.p_matrix import p_matrix_index
+from ..sortnet.multipass import MULTIPASS_BOUNDS, SortStats, multipass_sort, size_class_of
+from .base_word import canonical_keys, decode_keys, extract_words
+from .score_table import build_new_p_matrix, new_p_index
+
+# Instruction-accounting constants (per aligned base element); tuned so the
+# counter ratios land near Table III.  They represent addressing, loop and
+# bookkeeping work that a CUDA kernel spends per element.
+_INSTR_EXTRACT = 20
+_INSTR_ADJUST = 6
+_INSTR_PER_GENOTYPE = 8
+_INSTR_LOG10 = 6
+_INSTR_DEP_RESET = 32
+
+
+@dataclass(frozen=True)
+class LikelihoodVariant:
+    """Optimization switches of one kernel configuration."""
+
+    name: str
+    use_shared: bool
+    use_table: bool
+
+
+BASELINE = LikelihoodVariant("baseline", use_shared=False, use_table=False)
+WITH_SHARED = LikelihoodVariant("w_shared", use_shared=True, use_table=False)
+WITH_TABLE = LikelihoodVariant("w_new_table", use_shared=False, use_table=True)
+OPTIMIZED = LikelihoodVariant("optimized", use_shared=True, use_table=True)
+
+ALL_VARIANTS = (BASELINE, WITH_SHARED, WITH_TABLE, OPTIMIZED)
+
+
+@dataclass
+class GsnpTables:
+    """Device-resident score tables (built on the host, Section IV-G)."""
+
+    pm_host: np.ndarray  # flat (64*256*4*4,) p_matrix
+    newp_host: np.ndarray  # flat new_p_matrix
+    penalty_host: np.ndarray  # dependency penalty table (int32)
+    pm_dev: DeviceArray
+    newp_dev: DeviceArray
+    penalty_dev: DeviceArray  # constant memory
+
+    @staticmethod
+    def load(device: Device, pm_flat: np.ndarray, penalty: np.ndarray) -> "GsnpTables":
+        """The ``load_table`` component of Figure 2."""
+        newp = build_new_p_matrix(
+            pm_flat.reshape(64, MAX_READ_LEN, 4, 4)
+        )
+        return GsnpTables(
+            pm_host=pm_flat,
+            newp_host=newp,
+            penalty_host=penalty.astype(np.int32),
+            pm_dev=device.to_device(pm_flat, "p_matrix"),
+            newp_dev=device.to_device(newp, "new_p_matrix"),
+            penalty_dev=device.to_constant(
+                penalty.astype(np.int32), "log_table"
+            ),
+        )
+
+
+def gsnp_likelihood_sort(
+    device: Device | None,
+    words: np.ndarray,
+    offsets: np.ndarray,
+) -> tuple[np.ndarray, SortStats]:
+    """Sort every site's base_words into canonical order (multipass).
+
+    Returns (sorted words, sort statistics).  ``device=None`` runs the
+    same network on the CPU (the GSNP_CPU variant uses quicksort instead;
+    see :mod:`repro.sortnet.cpu_sort`).
+    """
+    keys = canonical_keys(words)
+    sorted_keys, stats = multipass_sort(keys, offsets, device=device)
+    return decode_keys(sorted_keys), stats
+
+
+def _comp_kernel(
+    ctx,
+    words_dev: DeviceArray,
+    starts: np.ndarray,
+    lens: np.ndarray,
+    width: int,
+    tables: GsnpTables,
+    tl_dev: DeviceArray,
+    dep_dev: DeviceArray,
+    variant: LikelihoodVariant,
+    acc_out: np.ndarray,
+):
+    """One bucket launch of likelihood_comp: thread t owns site t.
+
+    ``acc_out`` (rows, 10) receives the per-site log-likelihood sums;
+    the lockstep j-loop walks each site's sorted base_words sequentially,
+    so accumulation order matches the dense CPU algorithm bit for bit.
+    """
+    n = ctx.n_threads
+    tid = ctx.tid
+    acc = np.zeros((n, N_GENOTYPES), dtype=np.float64)
+    dep = np.zeros((n, N_STRANDS * MAX_READ_LEN), dtype=np.int32)
+    last_base = np.zeros(n, dtype=np.int64)
+    pm_flat = tables.pm_host
+    newp_flat = tables.newp_host
+    for j in range(width):
+        active = j < lens
+        w = ctx.gload(words_dev, np.minimum(starts + j, words_dev.size - 1),
+                      active=active)
+        base, score, coord, strand = extract_words(w)
+        base_i = base.astype(np.int64)
+        ctx.instr(_INSTR_EXTRACT, active=active)
+
+        # Algorithm 4 lines 8-10: reset dep_count when the base advances.
+        newbase = active & (base_i > last_base)
+        if newbase.any():
+            dep[newbase] = 0
+            ctx.instr(_INSTR_DEP_RESET, active=newbase)
+        last_base = np.where(active, np.maximum(last_base, base_i), last_base)
+
+        # dep_count[strand*read_len + coord] += 1 (global memory array).
+        slot = strand.astype(np.int64) * MAX_READ_LEN + coord
+        dep_idx = tid * (N_STRANDS * MAX_READ_LEN) + slot
+        _ = ctx.gload(dep_dev, dep_idx, active=active)
+        dep[np.arange(n)[active], slot[active]] += 1
+        k = dep[np.arange(n), slot]
+        ctx.gstore(dep_dev, dep_idx, k.astype(dep_dev.dtype), active=active)
+
+        # adjust(): penalty table lives in constant memory (log_table).
+        pen = ctx.cload(
+            tables.penalty_dev,
+            np.minimum(k - 1, tables.penalty_host.size - 1).clip(min=0),
+            active=active,
+        )
+        q_adj = np.maximum(0, score.astype(np.int64) - pen.astype(np.int64))
+        ctx.instr(_INSTR_ADJUST, active=active)
+
+        for gi, (a1, a2) in enumerate(GENOTYPES):
+            if variant.use_table:
+                idx = new_p_index(q_adj, coord, base_i, gi)
+                val = ctx.gload(tables.newp_dev, idx, active=active)
+            else:
+                i1 = p_matrix_index(q_adj, coord, a1, base_i)
+                i2 = p_matrix_index(q_adj, coord, a2, base_i)
+                p1 = ctx.gload(tables.pm_dev, i1, active=active)
+                p2 = ctx.gload(tables.pm_dev, i2, active=active)
+                with np.errstate(divide="ignore"):
+                    val = np.log10(0.5 * p1 + 0.5 * p2)
+                ctx.instr(_INSTR_LOG10, active=active)
+            contribution = np.where(active, val, 0.0)
+            if variant.use_shared:
+                ctx.note_shared(loads=1, stores=1, active=active)
+                acc[:, gi] += contribution
+            else:
+                tl_idx = tid * 16 + (a1 << 2 | a2)
+                _ = ctx.gload(tl_dev, tl_idx, active=active)
+                acc[:, gi] += contribution
+                ctx.gstore(tl_dev, tl_idx, acc[:, gi], active=active)
+            ctx.instr(_INSTR_PER_GENOTYPE, active=active)
+
+    if variant.use_shared:
+        # Copy s_type_likely to global memory through coalesced writes.
+        for gi in range(N_GENOTYPES):
+            ctx.note_shared(loads=1)
+            ctx.gstore(tl_dev, tid * 16 + gi, acc[:, gi])
+    acc_out[:] = acc
+
+
+def gsnp_likelihood_comp(
+    device: Device,
+    words_sorted: np.ndarray,
+    offsets: np.ndarray,
+    tables: GsnpTables,
+    variant: LikelihoodVariant = OPTIMIZED,
+    bounds=MULTIPASS_BOUNDS,
+    kernel_name: str = "likelihood_comp",
+) -> np.ndarray:
+    """Run likelihood_comp over all sites; returns (n_sites, 10) float64.
+
+    Sites are launched in multipass-style size buckets so lockstep lanes
+    stay balanced, mirroring the sort's bucketing.
+    """
+    n_sites = offsets.size - 1
+    out = np.zeros((n_sites, N_GENOTYPES), dtype=np.float64)
+    lengths = np.diff(offsets)
+    if words_sorted.size == 0 or n_sites == 0:
+        return out
+    words_dev = device.to_device(words_sorted, "base_word")
+    classes = size_class_of(lengths, bounds)
+    uppers = list(bounds) + [int(lengths.max(initial=1))]
+    for ci in range(len(bounds) + 1):
+        rows = np.nonzero((classes == ci) & (lengths > 0))[0]
+        if rows.size == 0:
+            continue
+        width = int(uppers[ci])
+        n = rows.size
+        tl_dev = device.alloc(n * 16, np.float64, "type_likely")
+        dep_dev = device.alloc(
+            n * N_STRANDS * MAX_READ_LEN, np.int32, "dep_count"
+        )
+        acc = np.empty((n, N_GENOTYPES), dtype=np.float64)
+        device.launch(
+            _comp_kernel,
+            n,
+            words_dev,
+            offsets[:-1][rows],
+            lengths[rows],
+            width,
+            tables,
+            tl_dev,
+            dep_dev,
+            variant,
+            acc,
+            name=f"{kernel_name}_{variant.name}",
+        )
+        out[rows] = acc
+        device.free(tl_dev)
+        device.free(dep_dev)
+    device.free(words_dev)
+    return out
+
+
+def gpu_dense_likelihood_counters(
+    device: Device, n_sites: int, m_counted: int
+) -> None:
+    """Analytic counters for the dense-representation GPU strawman (Fig. 5).
+
+    One thread block scans one site's 131,072-cell matrix with coalesced
+    loads (the best dense implementation available); the non-zero cells
+    then pay the same per-element work as the baseline sparse kernel.
+    Records into the device's counter book under ``likelihood_gpu_dense``.
+    """
+    c = device.counters.get("likelihood_gpu_dense")
+    c.launches += 1
+    # Coalesced scan: 131,072 one-byte cells per site, 128 bytes/segment.
+    c.g_load += n_sites * (131072 // 128)
+    c.g_load_bytes += n_sites * 131072
+    # Scan instructions: one compare/branch per cell per warp.
+    c.inst_warp += n_sites * (131072 // 32)
+    # Non-zero cells do baseline-variant work (20 p_matrix loads etc.).
+    c.g_load += 22 * m_counted
+    c.g_load_bytes += 22 * 8 * m_counted
+    c.g_store += 11 * m_counted
+    c.g_store_bytes += 11 * 8 * m_counted
+    c.inst_warp += (
+        _INSTR_EXTRACT
+        + _INSTR_ADJUST
+        + N_GENOTYPES * (_INSTR_PER_GENOTYPE + _INSTR_LOG10)
+    ) * m_counted

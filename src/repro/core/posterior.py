@@ -1,0 +1,62 @@
+"""GSNP posterior component: GPU-accelerated genotype calling.
+
+The posterior math is *shared verbatim* with the baseline
+(:mod:`repro.soapsnp.posterior`) — that is the whole point of the §IV-G
+consistency design — so this module wraps those functions with device-side
+accounting: per site, the kernel loads the 10 likelihoods and priors,
+evaluates the posterior and summary statistics, and writes one result row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import N_GENOTYPES
+from ..formats.cns import ResultTable
+from ..gpusim.device import Device
+from ..seqsim.datasets import KnownSnpPrior
+from ..soapsnp.model import CallingParams
+from ..soapsnp.observe import Observations
+from ..soapsnp.posterior import summarize_window
+
+#: Approximate bytes of one packed result row on the device.
+RESULT_ROW_BYTES = 40
+
+
+def gsnp_posterior(
+    device: Device,
+    obs: Observations,
+    window_start: int,
+    ref_codes: np.ndarray,
+    prior: KnownSnpPrior,
+    type_likely: np.ndarray,
+    params: CallingParams,
+    chrom: str,
+) -> ResultTable:
+    """Posterior + per-site statistics with device accounting.
+
+    Returns exactly what the baseline's ``summarize_window`` returns
+    (bitwise), while charging the simulated device for the per-site kernel
+    work.
+    """
+    table = summarize_window(
+        obs, window_start, ref_codes, prior, type_likely, params, chrom
+    )
+    n = obs.n_sites
+    c = device.counters.get("posterior")
+    c.launches += 1
+    # Per site: coalesced read of 10 float64 likelihoods + ref/prior bytes.
+    in_bytes = n * (N_GENOTYPES * 8 + 16)
+    c.g_load += -(-in_bytes // device.spec.segment_bytes)
+    c.g_load_bytes += in_bytes
+    # Per observation: allele statistics accumulation (scattered).
+    c.g_load += obs.n_obs
+    c.g_store += obs.n_obs
+    c.g_load_bytes += obs.n_obs * 4
+    c.g_store_bytes += obs.n_obs * 4
+    # Result row writes (coalesced struct-of-arrays stores).
+    out_bytes = n * RESULT_ROW_BYTES
+    c.g_store += -(-out_bytes // device.spec.segment_bytes)
+    c.g_store_bytes += out_bytes
+    c.inst_warp += n * 60 + obs.n_obs * 4
+    return table

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the GSNP reproduction."""
+
+from __future__ import annotations
+
+
+class GsnpError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DeviceError(GsnpError):
+    """Raised on invalid use of the simulated GPU device."""
+
+
+class AllocationError(DeviceError):
+    """Raised when a device allocation exceeds the configured memory."""
+
+
+class KernelError(DeviceError):
+    """Raised when a simulated kernel is launched with an invalid config."""
+
+
+class FormatError(GsnpError):
+    """Raised when an input file does not conform to its declared format."""
+
+
+class CodecError(GsnpError):
+    """Raised when compressed data cannot be decoded."""
+
+
+class PipelineError(GsnpError):
+    """Raised when pipeline components are used out of order."""

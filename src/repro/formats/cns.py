@@ -1,0 +1,254 @@
+"""The 17-column SNP result table (SOAPsnp ``.cns`` text format).
+
+Each row describes one site (Section III-A: "the result of SNP detection is
+a table, in which each row records SNP related information for a site").
+Columns, following SOAPsnp's consensus output:
+
+ 1. chromosome name            10. second-best base (or N)
+ 2. position (1-based)         11. average quality of second best
+ 3. reference base             12. count of uniquely-mapped second best
+ 4. consensus genotype (IUPAC) 13. count of all second best
+ 5. consensus quality          14. sequencing depth
+ 6. best base                  15. rank-sum test p-value
+ 7. average quality of best    16. average copy number
+ 8. count of uniquely-mapped   17. known-SNP flag
+    best
+ 9. count of all best
+
+The in-memory representation is a struct-of-arrays :class:`ResultTable`;
+the text codec reproduces SOAPsnp's row format (and hence its output
+volume, the quantity Figures 9-10 measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from ..constants import (
+    BASES,
+    GENOTYPES,
+    GENOTYPE_IUPAC,
+    IUPAC_GENOTYPE,
+    N_OUTPUT_COLUMNS,
+)
+from ..errors import FormatError
+
+#: Sentinel base code meaning "no second allele observed".
+NO_BASE = 4
+
+_BASE_CHARS = BASES + "N"
+
+#: Column-array fields of ResultTable in output order (cols 2..17).
+COLUMN_FIELDS = (
+    "pos",
+    "ref_base",
+    "genotype",
+    "quality",
+    "best_base",
+    "avg_qual_best",
+    "count_uni_best",
+    "count_all_best",
+    "second_base",
+    "avg_qual_second",
+    "count_uni_second",
+    "count_all_second",
+    "depth",
+    "rank_sum",
+    "copy_num",
+    "known_snp",
+)
+
+
+@dataclass
+class ResultTable:
+    """Struct-of-arrays result table for one chromosome (or window)."""
+
+    chrom: str
+    pos: np.ndarray  # int64, 1-based
+    ref_base: np.ndarray  # uint8 code 0..3
+    genotype: np.ndarray  # uint8 genotype index 0..9
+    quality: np.ndarray  # uint8 consensus quality 0..99
+    best_base: np.ndarray  # uint8 code 0..3
+    avg_qual_best: np.ndarray  # uint8
+    count_uni_best: np.ndarray  # uint16
+    count_all_best: np.ndarray  # uint16
+    second_base: np.ndarray  # uint8 code 0..4 (4 = none)
+    avg_qual_second: np.ndarray  # uint8
+    count_uni_second: np.ndarray  # uint16
+    count_all_second: np.ndarray  # uint16
+    depth: np.ndarray  # uint16
+    rank_sum: np.ndarray  # float32, quantized to 2 decimals
+    copy_num: np.ndarray  # float32, quantized to 2 decimals
+    known_snp: np.ndarray  # uint8 flag
+
+    @property
+    def n_sites(self) -> int:
+        return int(self.pos.size)
+
+    @property
+    def n_columns(self) -> int:
+        return N_OUTPUT_COLUMNS
+
+    def validate(self) -> None:
+        """Raise ValueError on shape or domain violations."""
+        n = self.n_sites
+        for f in fields(self):
+            if f.name == "chrom":
+                continue
+            arr = getattr(self, f.name)
+            if arr.shape != (n,):
+                raise ValueError(f"column {f.name} shape {arr.shape} != ({n},)")
+        if n == 0:
+            return
+        if self.genotype.max(initial=0) >= len(GENOTYPES):
+            raise ValueError("genotype index out of range")
+        if self.ref_base.max(initial=0) > 3 or self.best_base.max(initial=0) > 3:
+            raise ValueError("base code out of range")
+        if self.second_base.max(initial=0) > NO_BASE:
+            raise ValueError("second base code out of range")
+
+    @staticmethod
+    def empty(chrom: str) -> "ResultTable":
+        z8 = np.empty(0, dtype=np.uint8)
+        z16 = np.empty(0, dtype=np.uint16)
+        return ResultTable(
+            chrom=chrom,
+            pos=np.empty(0, dtype=np.int64),
+            ref_base=z8.copy(), genotype=z8.copy(), quality=z8.copy(),
+            best_base=z8.copy(), avg_qual_best=z8.copy(),
+            count_uni_best=z16.copy(), count_all_best=z16.copy(),
+            second_base=z8.copy(), avg_qual_second=z8.copy(),
+            count_uni_second=z16.copy(), count_all_second=z16.copy(),
+            depth=z16.copy(),
+            rank_sum=np.empty(0, dtype=np.float32),
+            copy_num=np.empty(0, dtype=np.float32),
+            known_snp=z8.copy(),
+        )
+
+    def concat(self, other: "ResultTable") -> "ResultTable":
+        """Append another table's rows (same chromosome)."""
+        kwargs = {"chrom": self.chrom}
+        for f in fields(self):
+            if f.name == "chrom":
+                continue
+            kwargs[f.name] = np.concatenate(
+                [getattr(self, f.name), getattr(other, f.name)]
+            )
+        return ResultTable(**kwargs)
+
+    def row(self, i: int) -> dict:
+        """Row i as a plain dict (for tests and spot checks)."""
+        return {f.name: getattr(self, f.name)[i] for f in fields(self)
+                if f.name != "chrom"}
+
+    def equals(self, other: "ResultTable") -> bool:
+        """Exact equality of all columns (the §IV-G consistency check)."""
+        if self.chrom != other.chrom or self.n_sites != other.n_sites:
+            return False
+        for f in fields(self):
+            if f.name == "chrom":
+                continue
+            if not np.array_equal(getattr(self, f.name), getattr(other, f.name)):
+                return False
+        return True
+
+
+def format_rows(table: ResultTable) -> bytes:
+    """Render a table as SOAPsnp-style tab-separated text."""
+    out: list[str] = []
+    for i in range(table.n_sites):
+        g = GENOTYPE_IUPAC[GENOTYPES[int(table.genotype[i])]]
+        out.append(
+            "\t".join(
+                (
+                    table.chrom,
+                    str(int(table.pos[i])),
+                    _BASE_CHARS[int(table.ref_base[i])],
+                    g,
+                    str(int(table.quality[i])),
+                    _BASE_CHARS[int(table.best_base[i])],
+                    str(int(table.avg_qual_best[i])),
+                    str(int(table.count_uni_best[i])),
+                    str(int(table.count_all_best[i])),
+                    _BASE_CHARS[int(table.second_base[i])],
+                    str(int(table.avg_qual_second[i])),
+                    str(int(table.count_uni_second[i])),
+                    str(int(table.count_all_second[i])),
+                    str(int(table.depth[i])),
+                    f"{float(table.rank_sum[i]):.2f}",
+                    f"{float(table.copy_num[i]):.2f}",
+                    str(int(table.known_snp[i])),
+                )
+            )
+            + "\n"
+        )
+    return "".join(out).encode()
+
+
+def write_cns(path: str | Path, table: ResultTable, append: bool = False) -> int:
+    """Write a table as text; returns bytes written."""
+    data = format_rows(table)
+    with open(path, "ab" if append else "wb") as f:
+        f.write(data)
+    return len(data)
+
+
+def parse_rows(data: bytes, chrom_hint: str | None = None) -> ResultTable:
+    """Parse tab-separated rows back into a table."""
+    base_idx = {c: i for i, c in enumerate(_BASE_CHARS)}
+    cols: dict[str, list] = {name: [] for name in COLUMN_FIELDS}
+    chrom = chrom_hint or ""
+    for lineno, line in enumerate(data.decode().splitlines(), 1):
+        if not line:
+            continue
+        parts = line.split("\t")
+        if len(parts) != N_OUTPUT_COLUMNS:
+            raise FormatError(
+                f"line {lineno}: expected {N_OUTPUT_COLUMNS} columns, "
+                f"got {len(parts)}"
+            )
+        chrom = parts[0]
+        cols["pos"].append(int(parts[1]))
+        cols["ref_base"].append(base_idx[parts[2]])
+        g = IUPAC_GENOTYPE.get(parts[3])
+        if g is None:
+            raise FormatError(f"line {lineno}: bad genotype {parts[3]!r}")
+        cols["genotype"].append(GENOTYPES.index(g))
+        cols["quality"].append(int(parts[4]))
+        cols["best_base"].append(base_idx[parts[5]])
+        cols["avg_qual_best"].append(int(parts[6]))
+        cols["count_uni_best"].append(int(parts[7]))
+        cols["count_all_best"].append(int(parts[8]))
+        cols["second_base"].append(base_idx[parts[9]])
+        cols["avg_qual_second"].append(int(parts[10]))
+        cols["count_uni_second"].append(int(parts[11]))
+        cols["count_all_second"].append(int(parts[12]))
+        cols["depth"].append(int(parts[13]))
+        cols["rank_sum"].append(float(parts[14]))
+        cols["copy_num"].append(float(parts[15]))
+        cols["known_snp"].append(int(parts[16]))
+    dtypes = {
+        "pos": np.int64, "ref_base": np.uint8, "genotype": np.uint8,
+        "quality": np.uint8, "best_base": np.uint8, "avg_qual_best": np.uint8,
+        "count_uni_best": np.uint16, "count_all_best": np.uint16,
+        "second_base": np.uint8, "avg_qual_second": np.uint8,
+        "count_uni_second": np.uint16, "count_all_second": np.uint16,
+        "depth": np.uint16, "rank_sum": np.float32, "copy_num": np.float32,
+        "known_snp": np.uint8,
+    }
+    return ResultTable(
+        chrom=chrom,
+        **{
+            name: np.asarray(vals, dtype=dtypes[name])
+            for name, vals in cols.items()
+        },
+    )
+
+
+def read_cns(path: str | Path) -> ResultTable:
+    """Read a .cns text file into a table."""
+    with open(path, "rb") as f:
+        return parse_rows(f.read())

@@ -1,0 +1,63 @@
+"""Minimal FASTA reader/writer for reference sequences."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..constants import BASES
+from ..errors import FormatError
+from ..seqsim.reference import Reference
+
+_LINE_WIDTH = 70
+
+
+def write_fasta(path: str | Path, references: list[Reference]) -> int:
+    """Write references to a FASTA file; returns bytes written."""
+    lut = np.frombuffer(BASES.encode(), dtype=np.uint8)
+    total = 0
+    with open(path, "wb") as f:
+        for ref in references:
+            header = f">{ref.name}\n".encode()
+            f.write(header)
+            total += len(header)
+            seq = lut[ref.codes].tobytes()
+            for i in range(0, len(seq), _LINE_WIDTH):
+                line = seq[i : i + _LINE_WIDTH] + b"\n"
+                f.write(line)
+                total += len(line)
+    return total
+
+
+def read_fasta(path: str | Path) -> list[Reference]:
+    """Read all sequences from a FASTA file."""
+    refs: list[Reference] = []
+    name: str | None = None
+    chunks: list[str] = []
+
+    def flush() -> None:
+        if name is not None:
+            refs.append(Reference.from_string(name, "".join(chunks)))
+
+    with open(path, "r") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                flush()
+                name = line[1:].split()[0]
+                if not name:
+                    raise FormatError(f"{path}:{lineno}: empty sequence name")
+                chunks = []
+            else:
+                if name is None:
+                    raise FormatError(
+                        f"{path}:{lineno}: sequence data before header"
+                    )
+                chunks.append(line)
+    flush()
+    if not refs:
+        raise FormatError(f"{path}: no sequences found")
+    return refs

@@ -1,0 +1,87 @@
+"""FASTQ reader/writer for raw (machine-orientation) reads.
+
+The upstream contract of the whole system: the sequencer emits FASTQ, the
+aligner produces SOAP alignments, the callers consume those.  This module
+closes the loop so the aligner substrate can be driven from files.
+Qualities use the Sanger Phred+33 convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..constants import BASES
+from ..errors import FormatError
+from .soap import QUAL_OFFSET
+
+
+def write_fastq(
+    path: str | Path,
+    reads: np.ndarray,
+    quals: np.ndarray,
+    name_prefix: str = "read",
+) -> int:
+    """Write (n, read_len) base codes + qualities as FASTQ; returns bytes."""
+    reads = np.asarray(reads, dtype=np.uint8)
+    quals = np.asarray(quals, dtype=np.uint8)
+    if reads.shape != quals.shape or reads.ndim != 2:
+        raise FormatError("reads/quals must be matching (n, read_len) arrays")
+    lut = np.frombuffer(BASES.encode(), dtype=np.uint8)
+    total = 0
+    with open(path, "wb") as f:
+        for i in range(reads.shape[0]):
+            seq = lut[reads[i]].tobytes()
+            q = (quals[i] + QUAL_OFFSET).astype(np.uint8).tobytes()
+            rec = b"@%s_%d\n%s\n+\n%s\n" % (
+                name_prefix.encode(), i, seq, q
+            )
+            f.write(rec)
+            total += len(rec)
+    return total
+
+
+def read_fastq(path: str | Path) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """Read a FASTQ file into (bases, quals, names).
+
+    All reads must share one length (the second-generation fixed-length
+    regime this system targets).
+    """
+    base_lut = np.full(256, 255, dtype=np.uint8)
+    for i, b in enumerate(BASES):
+        base_lut[ord(b)] = i
+    names: list[str] = []
+    bases_l: list[np.ndarray] = []
+    quals_l: list[np.ndarray] = []
+    with open(path, "rb") as f:
+        lines = f.read().splitlines()
+    if len(lines) % 4:
+        raise FormatError(f"{path}: FASTQ record count not a multiple of 4")
+    read_len = 0
+    for r in range(0, len(lines), 4):
+        header, seq, plus, qual = lines[r : r + 4]
+        if not header.startswith(b"@"):
+            raise FormatError(f"{path}: record {r // 4}: missing '@' header")
+        if not plus.startswith(b"+"):
+            raise FormatError(f"{path}: record {r // 4}: missing '+' line")
+        codes = base_lut[np.frombuffer(seq, dtype=np.uint8)]
+        if (codes == 255).any():
+            raise FormatError(f"{path}: record {r // 4}: invalid base")
+        q = np.frombuffer(qual, dtype=np.uint8).astype(np.int16) - QUAL_OFFSET
+        if (q < 0).any() or (q >= 64).any():
+            raise FormatError(f"{path}: record {r // 4}: quality out of range")
+        if codes.size != q.size:
+            raise FormatError(
+                f"{path}: record {r // 4}: seq/qual length mismatch"
+            )
+        if read_len == 0:
+            read_len = codes.size
+        elif codes.size != read_len:
+            raise FormatError(f"{path}: mixed read lengths not supported")
+        names.append(header[1:].decode())
+        bases_l.append(codes)
+        quals_l.append(q.astype(np.uint8))
+    if not bases_l:
+        raise FormatError(f"{path}: empty FASTQ")
+    return np.vstack(bases_l), np.vstack(quals_l), names

@@ -1,0 +1,59 @@
+"""Known-SNP prior file (the third input of the pipeline).
+
+One tab-separated line per known polymorphic site:
+
+``chrom  pos(1-based)  rate``
+
+where ``rate`` is the prior probability that the site is polymorphic in an
+individual (derived from population allele frequencies).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from ..seqsim.datasets import KnownSnpPrior
+
+
+def write_prior(path: str | Path, chrom: str, prior: KnownSnpPrior) -> int:
+    """Write a prior file; returns bytes written."""
+    total = 0
+    with open(path, "wb") as f:
+        for p, r in zip(prior.positions, prior.rates):
+            line = f"{chrom}\t{int(p) + 1}\t{float(r):.6f}\n".encode()
+            f.write(line)
+            total += len(line)
+    return total
+
+
+def read_prior(path: str | Path, chrom: str | None = None) -> KnownSnpPrior:
+    """Read a prior file (optionally filtered to one chromosome)."""
+    positions: list[int] = []
+    rates: list[float] = []
+    with open(path, "r") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise FormatError(
+                    f"{path}:{lineno}: expected 3 fields, got {len(parts)}"
+                )
+            c, pos, rate = parts
+            if chrom is not None and c != chrom:
+                continue
+            r = float(rate)
+            if not 0.0 <= r <= 1.0:
+                raise FormatError(f"{path}:{lineno}: rate {r} out of [0,1]")
+            positions.append(int(pos) - 1)
+            rates.append(r)
+    pos_arr = np.asarray(positions, dtype=np.int64)
+    order = np.argsort(pos_arr, kind="stable")
+    return KnownSnpPrior(
+        positions=pos_arr[order],
+        rates=np.asarray(rates, dtype=np.float64)[order],
+    )

@@ -1,0 +1,111 @@
+"""SOAP-style alignment text format.
+
+The main input file of the pipeline: one tab-separated line per aligned
+read, ordered by matched position (the paper's "hundreds of gigabytes of
+short read alignment results ordered by their matched positions").  Layout
+(a simplified SOAP ``.soap``):
+
+``read_id  seq  qual  n_hits  length  strand(+/-)  chrom  pos(1-based)``
+
+``seq``/``qual`` are stored in forward-reference orientation (reverse reads
+are already complemented back), which is how the counting component wants
+them; the machine cycle of forward offset ``j`` on a reverse read is
+``length - 1 - j``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..constants import BASES
+from ..errors import FormatError
+from ..align.records import AlignmentBatch
+
+#: Phred+33 quality encoding offset (Sanger FASTQ convention).
+QUAL_OFFSET = 33
+
+
+def write_soap(path: str | Path, batch: AlignmentBatch) -> int:
+    """Write an alignment batch as SOAP text; returns bytes written."""
+    lut = np.frombuffer(BASES.encode(), dtype=np.uint8)
+    total = 0
+    with open(path, "wb") as f:
+        for i in range(batch.n_reads):
+            seq = lut[batch.bases[i]].tobytes().decode()
+            qual = (batch.quals[i] + QUAL_OFFSET).astype(np.uint8).tobytes().decode()
+            strand = "+" if batch.strand[i] == 0 else "-"
+            line = (
+                f"read_{i}\t{seq}\t{qual}\t{int(batch.hits[i])}\t"
+                f"{batch.read_len}\t{strand}\t{batch.chrom}\t"
+                f"{int(batch.pos[i]) + 1}\n"
+            ).encode()
+            f.write(line)
+            total += len(line)
+    return total
+
+
+def soap_line_bytes(read_len: int) -> int:
+    """Approximate bytes per SOAP line for a given read length."""
+    return 2 * read_len + 40
+
+
+def read_soap(path: str | Path) -> AlignmentBatch:
+    """Parse a SOAP alignment file into a position-sorted batch."""
+    base_lut = np.full(256, 255, dtype=np.uint8)
+    for i, b in enumerate(BASES):
+        base_lut[ord(b)] = i
+    pos_l: list[int] = []
+    strand_l: list[int] = []
+    hits_l: list[int] = []
+    bases_l: list[np.ndarray] = []
+    quals_l: list[np.ndarray] = []
+    chrom = ""
+    read_len = 0
+    with open(path, "rb") as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.rstrip(b"\n")
+            if not raw:
+                continue
+            parts = raw.split(b"\t")
+            if len(parts) != 8:
+                raise FormatError(
+                    f"{path}:{lineno}: expected 8 fields, got {len(parts)}"
+                )
+            _, seq, qual, n_hits, length, strand, chrom_b, pos = parts
+            codes = base_lut[np.frombuffer(seq, dtype=np.uint8)]
+            if (codes == 255).any():
+                raise FormatError(f"{path}:{lineno}: invalid base in read")
+            q = np.frombuffer(qual, dtype=np.uint8).astype(np.int16) - QUAL_OFFSET
+            if (q < 0).any() or (q >= 64).any():
+                raise FormatError(f"{path}:{lineno}: quality out of range")
+            if int(length) != codes.size or codes.size != q.size:
+                raise FormatError(f"{path}:{lineno}: length mismatch")
+            if strand not in (b"+", b"-"):
+                raise FormatError(f"{path}:{lineno}: bad strand {strand!r}")
+            if read_len == 0:
+                read_len = codes.size
+                chrom = chrom_b.decode()
+            elif codes.size != read_len:
+                raise FormatError(
+                    f"{path}:{lineno}: mixed read lengths not supported"
+                )
+            pos_l.append(int(pos) - 1)
+            strand_l.append(0 if strand == b"+" else 1)
+            hits_l.append(min(int(n_hits), 255))
+            bases_l.append(codes)
+            quals_l.append(q.astype(np.uint8))
+    if not pos_l:
+        raise FormatError(f"{path}: empty alignment file")
+    pos = np.asarray(pos_l, dtype=np.int64)
+    order = np.argsort(pos, kind="stable")
+    return AlignmentBatch(
+        chrom=chrom,
+        read_len=read_len,
+        pos=pos[order],
+        strand=np.asarray(strand_l, dtype=np.uint8)[order],
+        hits=np.asarray(hits_l, dtype=np.uint8)[order],
+        bases=np.vstack(bases_l)[order],
+        quals=np.vstack(quals_l)[order],
+    )

@@ -1,0 +1,169 @@
+"""Streaming window reader over SOAP alignment files.
+
+The production input is "hundreds of gigabytes of short read alignment
+results ordered by their matched positions" (Section III-A) — far beyond
+memory.  :class:`StreamingSoapReader` yields the same
+:class:`~repro.formats.window.Window` objects as the in-memory
+:class:`~repro.formats.window.WindowReader`, but parses the file
+incrementally: it keeps only the reads overlapping the current window,
+exploiting the position-sorted order to discard everything behind the
+window front.
+
+Reads spanning a window boundary are retained and re-delivered to the next
+window, exactly like the in-memory reader (tested equivalent).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..align.records import AlignmentBatch
+from ..constants import BASES
+from ..errors import FormatError, PipelineError
+from .soap import QUAL_OFFSET
+from .window import Window
+
+_BASE_LUT = np.full(256, 255, dtype=np.uint8)
+for _i, _b in enumerate(BASES):
+    _BASE_LUT[ord(_b)] = _i
+
+
+def _parse_line(raw: bytes, lineno: int, path) -> tuple:
+    parts = raw.split(b"\t")
+    if len(parts) != 8:
+        raise FormatError(
+            f"{path}:{lineno}: expected 8 fields, got {len(parts)}"
+        )
+    _, seq, qual, n_hits, length, strand, _chrom, pos = parts
+    codes = _BASE_LUT[np.frombuffer(seq, dtype=np.uint8)]
+    if (codes == 255).any():
+        raise FormatError(f"{path}:{lineno}: invalid base in read")
+    q = np.frombuffer(qual, dtype=np.uint8).astype(np.int16) - QUAL_OFFSET
+    if (q < 0).any() or (q >= 64).any():
+        raise FormatError(f"{path}:{lineno}: quality out of range")
+    if int(length) != codes.size or codes.size != q.size:
+        raise FormatError(f"{path}:{lineno}: length mismatch")
+    if strand not in (b"+", b"-"):
+        raise FormatError(f"{path}:{lineno}: bad strand {strand!r}")
+    return (
+        int(pos) - 1,
+        0 if strand == b"+" else 1,
+        min(int(n_hits), 255),
+        codes,
+        q.astype(np.uint8),
+    )
+
+
+class StreamingSoapReader:
+    """Iterate fixed-size windows over a SOAP file without loading it.
+
+    Parameters
+    ----------
+    path:
+        Position-sorted SOAP alignment file.
+    n_sites:
+        Reference length (windows cover ``[0, n_sites)``).
+    window_size:
+        Sites per window.
+    chrom:
+        Chromosome name stamped on emitted batches (defaults to the file's
+        seventh column of the first record).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        n_sites: int,
+        window_size: int,
+        chrom: str | None = None,
+    ) -> None:
+        if window_size <= 0:
+            raise PipelineError("window size must be positive")
+        self.path = Path(path)
+        self.n_sites = n_sites
+        self.window_size = window_size
+        self.chrom = chrom
+        self.bytes_read = 0
+
+    @property
+    def n_windows(self) -> int:
+        return -(-self.n_sites // self.window_size)
+
+    def __iter__(self) -> Iterator[Window]:
+        pending: list[tuple] = []  # parsed reads not yet behind the front
+        read_len = 0
+        chrom = self.chrom or ""
+        last_pos = -1
+
+        with open(self.path, "rb") as f:
+            line_iter = enumerate(f, 1)
+            exhausted = False
+            for w in range(self.n_windows):
+                start = w * self.window_size
+                end = min(start + self.window_size, self.n_sites)
+                # Pull lines until a read starts at/after this window's end
+                # (sorted order guarantees nothing later overlaps it).
+                while not exhausted:
+                    try:
+                        lineno, raw = next(line_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    self.bytes_read += len(raw)
+                    raw = raw.rstrip(b"\n")
+                    if not raw:
+                        continue
+                    if not chrom:
+                        chrom = raw.split(b"\t")[6].decode()
+                    rec = _parse_line(raw, lineno, self.path)
+                    if rec[0] < last_pos:
+                        raise FormatError(
+                            f"{self.path}:{lineno}: positions not sorted"
+                        )
+                    last_pos = rec[0]
+                    if read_len == 0:
+                        read_len = rec[3].size
+                    elif rec[3].size != read_len:
+                        raise FormatError(
+                            f"{self.path}:{lineno}: mixed read lengths"
+                        )
+                    if rec[0] + read_len > self.n_sites:
+                        raise PipelineError(
+                            f"{self.path}:{lineno}: read extends past the "
+                            f"reference end"
+                        )
+                    pending.append(rec)
+                    if rec[0] >= end:
+                        break
+                # Drop reads entirely behind this window.
+                pending = [
+                    r for r in pending if r[0] + read_len > start
+                ]
+                overlap = [r for r in pending if r[0] < end]
+                yield Window(
+                    start=start,
+                    end=end,
+                    reads=_batch_from_records(
+                        overlap, chrom, read_len or self.window_size
+                    ),
+                )
+
+
+def _batch_from_records(
+    records: list[tuple], chrom: str, read_len: int
+) -> AlignmentBatch:
+    if not records:
+        return AlignmentBatch.empty(chrom, read_len)
+    pos = np.array([r[0] for r in records], dtype=np.int64)
+    return AlignmentBatch(
+        chrom=chrom,
+        read_len=read_len,
+        pos=pos,
+        strand=np.array([r[1] for r in records], dtype=np.uint8),
+        hits=np.array([r[2] for r in records], dtype=np.uint8),
+        bases=np.vstack([r[3] for r in records]),
+        quals=np.vstack([r[4] for r in records]),
+    )

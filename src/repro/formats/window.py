@@ -1,0 +1,66 @@
+"""Windowed site reader — the ``read_site`` component.
+
+Both pipelines process the chromosome in fixed-size windows of sites
+(Figure 1/2: "the component read_site loads a fixed number of sites (a
+window) from input files").  A window needs every read overlapping any of
+its sites, so reads spanning a window boundary are delivered to both
+windows; per-site counting later selects only the in-window offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..align.records import AlignmentBatch
+from ..errors import PipelineError
+
+
+@dataclass(frozen=True)
+class Window:
+    """One window of sites plus the reads overlapping it."""
+
+    start: int  # first site (0-based, inclusive)
+    end: int  # last site (exclusive)
+    reads: AlignmentBatch
+
+    @property
+    def n_sites(self) -> int:
+        return self.end - self.start
+
+
+class WindowReader:
+    """Iterate fixed-size windows over a position-sorted alignment batch."""
+
+    def __init__(
+        self,
+        alignments: AlignmentBatch,
+        n_sites: int,
+        window_size: int,
+    ) -> None:
+        if window_size <= 0:
+            raise PipelineError("window size must be positive")
+        if alignments.n_reads and (
+            alignments.pos[-1] + alignments.read_len > n_sites
+        ):
+            raise PipelineError("alignments extend past the reference end")
+        self.alignments = alignments
+        self.n_sites = n_sites
+        self.window_size = window_size
+
+    @property
+    def n_windows(self) -> int:
+        return -(-self.n_sites // self.window_size)
+
+    def __iter__(self) -> Iterator[Window]:
+        aln = self.alignments
+        read_len = aln.read_len
+        for w in range(self.n_windows):
+            start = w * self.window_size
+            end = min(start + self.window_size, self.n_sites)
+            # Reads overlapping [start, end): pos in (start-read_len, end).
+            lo = int(np.searchsorted(aln.pos, start - read_len + 1, "left"))
+            hi = int(np.searchsorted(aln.pos, end, "left"))
+            yield Window(start=start, end=end, reads=aln.slice(lo, hi))

@@ -1,0 +1,42 @@
+"""Simulated GPU substrate.
+
+The paper runs on an NVIDIA Tesla M2050; this environment has no GPU, so the
+reproduction executes every kernel *functionally* (vectorized NumPy in SIMT
+lockstep) on a simulated device that performs per-warp coalescing analysis
+and exposes CUDA-profiler-style hardware counters plus a roofline cost model
+parameterized with the paper's measured bandwidths.  See DESIGN.md for why
+this substitution preserves the paper's claims.
+"""
+
+from .counters import CounterBook, KernelCounters
+from .costmodel import (
+    CpuCostModel,
+    CpuEvents,
+    DiskEvents,
+    DiskModel,
+    GpuCostModel,
+)
+from .device import Device, TransferLog
+from .kernel import KernelContext
+from .memory import DeviceArray, count_transactions
+from .spec import BGI_PLATFORM, CpuSpec, DiskSpec, GpuSpec, PlatformSpec
+
+__all__ = [
+    "BGI_PLATFORM",
+    "CounterBook",
+    "CpuCostModel",
+    "CpuEvents",
+    "CpuSpec",
+    "Device",
+    "DeviceArray",
+    "DiskEvents",
+    "DiskModel",
+    "DiskSpec",
+    "GpuCostModel",
+    "GpuSpec",
+    "KernelContext",
+    "KernelCounters",
+    "PlatformSpec",
+    "TransferLog",
+    "count_transactions",
+]

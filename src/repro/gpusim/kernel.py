@@ -1,0 +1,229 @@
+"""Warp-vectorized kernel execution context.
+
+Simulated kernels follow the *lockstep* idiom: instead of running one Python
+function per thread (hopelessly slow), the kernel body is written once and
+operates on NumPy vectors indexed by thread id — exactly the mental model of
+SIMT execution, and exactly the "vectorize your loops" idiom the scientific
+Python optimization guide prescribes.  Every device-memory access goes
+through the :class:`KernelContext`, which
+
+* performs the real gather/scatter on the backing NumPy array, and
+* runs per-warp coalescing analysis so the device's hardware counters
+  reflect what a Fermi GPU would have done.
+
+Inactive lanes are expressed with an ``active`` boolean mask (the SIMT
+equivalent of a divergent branch): masked lanes read as 0 and issue no
+transactions, but the warp still issues the instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import KernelError
+from .counters import KernelCounters
+from .memory import DeviceArray, count_transactions
+
+
+class KernelContext:
+    """Execution context handed to a simulated kernel body."""
+
+    def __init__(
+        self,
+        device,
+        counters: KernelCounters,
+        n_threads: int,
+        block_size: int = 256,
+    ) -> None:
+        self.device = device
+        self.counters = counters
+        self.n_threads = int(n_threads)
+        self.block_size = int(block_size)
+        self.warp_size = device.spec.warp_size
+        #: Global thread ids, the vector every kernel body indexes with.
+        self.tid = np.arange(self.n_threads, dtype=np.int64)
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def n_warps(self) -> int:
+        """Number of warps in this launch (ceil division)."""
+        return -(-self.n_threads // self.warp_size)
+
+    def _active_warps(self, active: Optional[np.ndarray]) -> int:
+        """Warps with at least one active lane (these issue instructions)."""
+        if active is None:
+            return self.n_warps
+        act = np.asarray(active, dtype=bool).ravel()
+        if act.size != self.n_threads:
+            raise KernelError(
+                f"active mask has {act.size} lanes, launch has "
+                f"{self.n_threads} threads"
+            )
+        pad = (-act.size) % self.warp_size
+        if pad:
+            act = np.concatenate([act, np.zeros(pad, dtype=bool)])
+        return int(act.reshape(-1, self.warp_size).any(axis=1).sum())
+
+    def _masked_idx(
+        self, idx: np.ndarray, active: Optional[np.ndarray]
+    ) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64).ravel()
+        if idx.size != self.n_threads:
+            raise KernelError(
+                f"index vector has {idx.size} lanes, launch has "
+                f"{self.n_threads} threads"
+            )
+        if active is not None:
+            idx = np.where(np.asarray(active, dtype=bool).ravel(), idx, -1)
+        return idx
+
+    # -- instruction accounting ----------------------------------------------
+
+    def instr(self, per_thread: int, active: Optional[np.ndarray] = None) -> None:
+        """Account ``per_thread`` arithmetic/logic instructions.
+
+        In SIMT, a warp with any active lane issues the instruction for the
+        whole warp — branch divergence costs the full warp, which is why the
+        paper's sparse packing (all lanes doing identical work on packed
+        non-zeros) matters.
+        """
+        self.counters.inst_warp += int(per_thread) * self._active_warps(active)
+
+    def note_shared(
+        self,
+        loads: int = 0,
+        stores: int = 0,
+        active: Optional[np.ndarray] = None,
+    ) -> None:
+        """Account shared-memory traffic (per-thread op counts)."""
+        w = self._active_warps(active)
+        self.counters.s_load_warp += int(loads) * w
+        self.counters.s_store_warp += int(stores) * w
+
+    # -- global memory --------------------------------------------------------
+
+    def gload(
+        self,
+        arr: DeviceArray,
+        idx: np.ndarray,
+        active: Optional[np.ndarray] = None,
+        fill=0,
+    ) -> np.ndarray:
+        """Per-thread gather from global memory with coalescing analysis.
+
+        ``idx[t]`` is the flat element index read by thread ``t``; inactive
+        lanes receive ``fill``.
+        """
+        self._check_global(arr)
+        midx = self._masked_idx(idx, active)
+        tx = count_transactions(
+            midx, arr.itemsize, self.warp_size, self.device.spec.segment_bytes
+        )
+        self.counters.g_load += tx
+        live = midx >= 0
+        self.counters.g_load_bytes += int(live.sum()) * arr.itemsize
+        self.counters.inst_warp += self._active_warps(active)
+        flat = arr.flat_view()
+        self._bounds_check(arr, midx[live])
+        out = np.full(self.n_threads, fill, dtype=arr.dtype)
+        out[live] = flat[midx[live]]
+        return out
+
+    def gstore(
+        self,
+        arr: DeviceArray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> None:
+        """Per-thread scatter to global memory with coalescing analysis.
+
+        Lanes writing the same address are serialized in thread-id order
+        (last lane wins), matching CUDA's undefined-but-single-winner
+        semantics deterministically.
+        """
+        self._check_global(arr)
+        midx = self._masked_idx(idx, active)
+        tx = count_transactions(
+            midx, arr.itemsize, self.warp_size, self.device.spec.segment_bytes
+        )
+        self.counters.g_store += tx
+        live = midx >= 0
+        self.counters.g_store_bytes += int(live.sum()) * arr.itemsize
+        self.counters.inst_warp += self._active_warps(active)
+        vals = np.broadcast_to(
+            np.asarray(values, dtype=arr.dtype), (self.n_threads,)
+        )
+        self._bounds_check(arr, midx[live])
+        arr.flat_view()[midx[live]] = vals[live]
+
+    def gatomic_add(
+        self,
+        arr: DeviceArray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> None:
+        """Per-thread atomic add to global memory (np.add.at semantics)."""
+        self._check_global(arr)
+        midx = self._masked_idx(idx, active)
+        tx = count_transactions(
+            midx, arr.itemsize, self.warp_size, self.device.spec.segment_bytes
+        )
+        # An atomic RMW costs a load and a store transaction.
+        self.counters.g_load += tx
+        self.counters.g_store += tx
+        live = midx >= 0
+        nbytes = int(live.sum()) * arr.itemsize
+        self.counters.g_load_bytes += nbytes
+        self.counters.g_store_bytes += nbytes
+        self.counters.inst_warp += self._active_warps(active)
+        vals = np.broadcast_to(
+            np.asarray(values, dtype=arr.dtype), (self.n_threads,)
+        )
+        self._bounds_check(arr, midx[live])
+        np.add.at(arr.flat_view(), midx[live], vals[live])
+
+    # -- constant memory --------------------------------------------------------
+
+    def cload(
+        self,
+        arr: DeviceArray,
+        idx: np.ndarray,
+        active: Optional[np.ndarray] = None,
+        fill=0,
+    ) -> np.ndarray:
+        """Gather from cached constant memory (no transaction counting)."""
+        arr.require_live()
+        if arr.space != "constant":
+            raise KernelError(
+                f"cload on array {arr.name!r} in space {arr.space!r}"
+            )
+        midx = self._masked_idx(idx, active)
+        live = midx >= 0
+        self.counters.c_load += int(live.sum())
+        self.counters.inst_warp += self._active_warps(active)
+        self._bounds_check(arr, midx[live])
+        out = np.full(self.n_threads, fill, dtype=arr.dtype)
+        out[live] = arr.flat_view()[midx[live]]
+        return out
+
+    # -- internal -----------------------------------------------------------
+
+    def _check_global(self, arr: DeviceArray) -> None:
+        arr.require_live()
+        if arr.space != "global":
+            raise KernelError(
+                f"global access to array {arr.name!r} in space {arr.space!r}"
+            )
+
+    @staticmethod
+    def _bounds_check(arr: DeviceArray, idx: np.ndarray) -> None:
+        if idx.size and (idx.max(initial=0) >= arr.size):
+            raise KernelError(
+                f"out-of-bounds access on {arr.name!r}: index "
+                f"{int(idx.max())} >= size {arr.size}"
+            )

@@ -1,0 +1,141 @@
+"""Simulated device memory: arrays, spaces, and coalescing analysis.
+
+The GPU-performance claims in the paper all reduce to *how many memory
+transactions a warp issues*.  On Fermi-class hardware a warp's loads are
+serviced in 128-byte segments: 32 threads reading 32 consecutive 4-byte
+words touch exactly one segment (coalesced), while 32 scattered reads touch
+up to 32 segments (the measured 82 GB/s vs 3.2 GB/s gap of Section VI-A).
+:func:`count_transactions` performs that per-warp segment analysis, fully
+vectorized over all warps of a launch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DeviceError
+
+#: Memory spaces recognised by the simulator.
+SPACES = ("global", "constant")
+
+_SENTINEL_SEG = np.iinfo(np.int64).max
+
+
+def count_transactions(
+    indices: np.ndarray,
+    itemsize: int,
+    warp_size: int = 32,
+    segment_bytes: int = 128,
+) -> int:
+    """Count the memory transactions a warp-partitioned access generates.
+
+    Parameters
+    ----------
+    indices:
+        Flat element indices accessed by consecutive threads.  Thread ``t``
+        accesses ``indices[t]``; a negative index marks an inactive lane
+        (masked-off thread), which issues no transaction.
+    itemsize:
+        Size in bytes of one element.
+    warp_size:
+        Number of threads per warp (lanes coalesced together).
+    segment_bytes:
+        Size of one memory transaction segment.
+
+    Returns
+    -------
+    int
+        Total number of ``segment_bytes``-sized transactions summed over
+        all warps.
+    """
+    idx = np.asarray(indices).ravel()
+    n = idx.size
+    if n == 0:
+        return 0
+    pad = (-n) % warp_size
+    if pad:
+        idx = np.concatenate([idx, np.full(pad, -1, dtype=np.int64)])
+    addr = idx.astype(np.int64) * int(itemsize)
+    seg = addr // int(segment_bytes)
+    seg[idx < 0] = _SENTINEL_SEG
+    seg = seg.reshape(-1, warp_size)
+    seg = np.sort(seg, axis=1)
+    # Distinct runs per row; the sentinel run (inactive lanes) contributes
+    # exactly one run when present, which we subtract back out.
+    distinct = (np.diff(seg, axis=1) != 0).sum(axis=1) + 1
+    distinct = distinct - (seg[:, -1] == _SENTINEL_SEG)
+    return int(distinct.sum())
+
+
+class DeviceArray:
+    """A typed array living in simulated device memory.
+
+    The backing store is an ordinary NumPy array (``.data``).  Host code may
+    touch ``.data`` freely when staging inputs or checking outputs; *kernel*
+    code must route every access through the
+    :class:`~repro.gpusim.kernel.KernelContext` so transactions are counted.
+    """
+
+    __slots__ = ("name", "data", "space", "device", "_freed")
+
+    def __init__(
+        self,
+        name: str,
+        data: np.ndarray,
+        space: str = "global",
+        device: Optional[object] = None,
+    ) -> None:
+        if space not in SPACES:
+            raise DeviceError(f"unknown memory space {space!r}")
+        self.name = name
+        self.data = data
+        self.space = space
+        self.device = device
+        self._freed = False
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def itemsize(self) -> int:
+        return self.data.itemsize
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def require_live(self) -> None:
+        """Raise :class:`DeviceError` if this array has been freed."""
+        if self._freed:
+            raise DeviceError(f"use of freed device array {self.name!r}")
+
+    def flat_view(self) -> np.ndarray:
+        """Return a flat (1-D) view of the backing store."""
+        self.require_live()
+        return self.data.reshape(-1)
+
+    def copy_to_host(self) -> np.ndarray:
+        """Raw (unaccounted) copy out; prefer ``Device.from_device``."""
+        self.require_live()
+        return self.data.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "freed" if self._freed else f"{self.shape} {self.dtype}"
+        return f"DeviceArray({self.name!r}, {self.space}, {state})"

@@ -1,0 +1,64 @@
+"""Work-efficient exclusive prefix scan (Blelloch) on the simulated GPU."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..device import Device
+from ..memory import DeviceArray
+
+
+def _upsweep_kernel(ctx, arr: DeviceArray, stride: int, n: int):
+    """Up-sweep phase: a[i + 2s - 1] += a[i + s - 1] for strided i."""
+    i = ctx.tid * (2 * stride)
+    active = (i + 2 * stride - 1) < n
+    left = ctx.gload(arr, i + stride - 1, active=active)
+    right = ctx.gload(arr, i + 2 * stride - 1, active=active)
+    ctx.instr(1, active=active)
+    ctx.gstore(arr, i + 2 * stride - 1, left + right, active=active)
+
+
+def _downsweep_kernel(ctx, arr: DeviceArray, stride: int, n: int):
+    """Down-sweep phase: swap-and-add propagating partial sums down."""
+    i = ctx.tid * (2 * stride)
+    active = (i + 2 * stride - 1) < n
+    left = ctx.gload(arr, i + stride - 1, active=active)
+    right = ctx.gload(arr, i + 2 * stride - 1, active=active)
+    ctx.instr(2, active=active)
+    ctx.gstore(arr, i + stride - 1, right, active=active)
+    ctx.gstore(arr, i + 2 * stride - 1, left + right, active=active)
+
+
+def device_exclusive_scan(device: Device, arr: DeviceArray) -> DeviceArray:
+    """Exclusive prefix sum of a device array.
+
+    Returns a new device array ``out`` with
+    ``out[i] = sum(arr[:i])``; the input is left untouched.  The
+    implementation pads to the next power of two and runs the classic
+    up-sweep / down-sweep passes, each a coalesced strided kernel.
+    """
+    n = arr.size
+    if n == 0:
+        return device.alloc(0, arr.dtype, name=f"{arr.name}.scan")
+    m = 1 << (n - 1).bit_length()
+    work = device.alloc(m, arr.dtype, name=f"{arr.name}.scanwork")
+    work.data[:n] = arr.data.reshape(-1)
+    stride = 1
+    while stride < m:
+        threads = m // (2 * stride)
+        device.launch(
+            _upsweep_kernel, threads, work, stride, m, name="scan_upsweep"
+        )
+        stride *= 2
+    work.data[m - 1] = 0
+    stride = m // 2
+    while stride >= 1:
+        threads = m // (2 * stride)
+        device.launch(
+            _downsweep_kernel, threads, work, stride, m, name="scan_downsweep"
+        )
+        stride //= 2
+    out = device.alloc(n, arr.dtype, name=f"{arr.name}.scan")
+    out.data[:] = work.data[:n]
+    device.free(work)
+    return out

@@ -1,0 +1,95 @@
+"""The dense per-site aligned-base matrix ``base_occ`` (Section IV-A/B).
+
+For each site SOAPsnp keeps a 4 x 64 x 256 x 2 byte matrix
+(base x score x coord x strand) of occurrence counts — 131,072 cells of
+which only tens are non-zero at realistic depth (Figure 4b), the central
+inefficiency GSNP's sparse ``base_word`` removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import (
+    BASE_OCC_SIZE,
+    MAX_READ_LEN,
+    N_BASES,
+    N_SCORES,
+    N_STRANDS,
+)
+from .observe import Observations
+
+
+def base_occ_cell_index(
+    base: np.ndarray, score: np.ndarray, coord: np.ndarray, strand: np.ndarray
+) -> np.ndarray:
+    """Flat cell index ``base<<15 | score<<9 | coord<<1 | strand``."""
+    return (
+        base.astype(np.int64) << 15
+        | score.astype(np.int64) << 9
+        | coord.astype(np.int64) << 1
+        | strand.astype(np.int64)
+    )
+
+
+def build_base_occ(obs: Observations) -> np.ndarray:
+    """Build the dense matrix for every site of a window.
+
+    Returns a ``(n_sites, BASE_OCC_SIZE)`` uint8 array.  Beware: at the
+    paper's window sizes this is the multi-gigabyte allocation whose scans
+    dominate SOAPsnp's runtime — callers working at scale should prefer
+    :func:`nonzero_counts` or the sparse representation.
+    """
+    occ = np.zeros((obs.n_sites, BASE_OCC_SIZE), dtype=np.uint8)
+    sel = obs.counted
+    if sel.any():
+        cell = base_occ_cell_index(
+            obs.base[sel], obs.score[sel], obs.coord[sel], obs.strand[sel]
+        )
+        flat_idx = obs.site[sel] * BASE_OCC_SIZE + cell
+        np.add.at(occ.reshape(-1), flat_idx, 1)
+    return occ
+
+
+def build_base_occ_site(obs: Observations, site: int) -> np.ndarray:
+    """Dense matrix of a single site, shaped (4, 64, 256, 2)."""
+    sel = obs.counted & (obs.site == site)
+    occ = np.zeros((N_BASES, N_SCORES, MAX_READ_LEN, N_STRANDS), dtype=np.uint8)
+    np.add.at(
+        occ,
+        (obs.base[sel], obs.score[sel], obs.coord[sel], obs.strand[sel]),
+        1,
+    )
+    return occ
+
+
+def nonzero_counts(obs: Observations) -> np.ndarray:
+    """Per-site number of non-zero ``base_occ`` cells (Figure 4b data).
+
+    Equal to the number of *distinct* counted (base, score, coord, strand)
+    cells at each site.
+    """
+    sel = np.nonzero(obs.counted)[0]
+    if sel.size == 0:
+        return np.zeros(obs.n_sites, dtype=np.int64)
+    cell = base_occ_cell_index(
+        obs.base[sel], obs.score[sel], obs.coord[sel], obs.strand[sel]
+    )
+    key = obs.site[sel] * BASE_OCC_SIZE + cell
+    # Canonical order makes equal keys adjacent.
+    new = np.concatenate([[True], key[1:] != key[:-1]])
+    return np.bincount(obs.site[sel][new], minlength=obs.n_sites)
+
+
+def sparsity_histogram(
+    nnz: np.ndarray, bin_edges: tuple[int, ...] = (0, 1, 8, 16, 32, 64, 128)
+) -> dict[str, float]:
+    """Percentage of sites per non-zero-count bin (Figure 4b)."""
+    edges = list(bin_edges) + [np.inf]
+    total = max(nnz.size, 1)
+    out: dict[str, float] = {}
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (nnz >= lo) & (nnz < hi)
+        label = f"[{lo},{'inf' if hi == np.inf else int(hi)})"
+        out[label] = 100.0 * float(mask.sum()) / total
+    return out

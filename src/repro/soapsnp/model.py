@@ -1,0 +1,125 @@
+"""Calling parameters and genotype priors for the Bayesian model.
+
+SOAPsnp scores the ten unordered diploid genotypes with
+``posterior(g) ∝ prior(g) * likelihood(g)``.  The prior at a site with
+reference base R and per-site polymorphism rate r (from the known-SNP file
+for dbSNP sites, otherwise the novel rate) is:
+
+* hom-ref (R,R): ``1 - r``
+* het (R,x):     ``r * het_fraction * w(x)``
+* hom-alt (x,x): ``r * hom_fraction * w(x)``
+* non-ref het (x,y): ``r * other_fraction / 3``
+
+where ``w(x)`` favors transitions over transversions with ratio ``titv``
+(``w`` sums to one over the three alternative alleles).  These weights are
+the unspecified-in-the-paper constants documented in DESIGN.md; they are
+shared verbatim by the baseline and GSNP so the §IV-G consistency property
+is meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import GENOTYPES, N_BASES, N_GENOTYPES, TRANSITIONS
+from ..stats.tables import DEFAULT_PCR_DEPENDENCY, dependency_penalty_table
+
+
+@dataclass(frozen=True)
+class CallingParams:
+    """Tunable parameters of the SNP-calling model."""
+
+    #: Read length; bounds the coord dimension (must be <= 256).
+    read_len: int = 100
+    #: Quality dependency decay for repeated same-coordinate observations.
+    pcr_dependency: float = DEFAULT_PCR_DEPENDENCY
+    #: Prior polymorphism rate for sites absent from the known-SNP file.
+    novel_rate: float = 1e-3
+    #: Transition/transversion prior ratio.
+    titv: float = 4.0
+    #: Share of the polymorphism prior mass given to ref/alt hets.
+    het_fraction: float = 0.80
+    #: Share given to hom-alt genotypes.
+    hom_fraction: float = 0.15
+    #: Share given to hets between two non-reference alleles.
+    other_fraction: float = 0.05
+    #: Pseudo-count weight blending the theoretical error model into the
+    #: empirically calibrated p_matrix.
+    calibration_pseudo: float = 20.0
+    #: Maximum consensus quality reported.
+    max_quality: int = 99
+
+    def __post_init__(self) -> None:
+        if not 0 < self.read_len <= 256:
+            raise ValueError("read_len must be in 1..256")
+        total = self.het_fraction + self.hom_fraction + self.other_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError("prior fractions must sum to 1")
+        if not 0.0 < self.novel_rate < 1.0:
+            raise ValueError("novel_rate must be in (0,1)")
+
+    def penalty_table(self) -> np.ndarray:
+        """The host-computed dependency penalty table (§IV-G log_table)."""
+        return dependency_penalty_table(pcr_dependency=self.pcr_dependency)
+
+
+def allele_weights(ref: int, titv: float) -> np.ndarray:
+    """Prior weight of each alternative allele given the reference base.
+
+    Returns a length-4 array; the reference slot is 0, the transition
+    partner carries ``titv / (titv + 2)``, each transversion
+    ``1 / (titv + 2)``.
+    """
+    w = np.zeros(N_BASES)
+    for x in range(N_BASES):
+        if x == ref:
+            continue
+        w[x] = titv if (ref, x) in TRANSITIONS else 1.0
+    return w / w.sum()
+
+
+def genotype_log_priors(
+    ref_bases: np.ndarray, rates: np.ndarray, params: CallingParams
+) -> np.ndarray:
+    """log10 prior over the 10 genotypes for each site.
+
+    Parameters
+    ----------
+    ref_bases:
+        Reference base code per site, shape ``(n,)``.
+    rates:
+        Per-site polymorphism prior rate, shape ``(n,)``.
+
+    Returns
+    -------
+    ``(n, 10)`` float64 array of log10 priors (columns follow
+    :data:`~repro.constants.GENOTYPES` order).
+    """
+    ref_bases = np.asarray(ref_bases)
+    rates = np.asarray(rates, dtype=np.float64)
+    n = ref_bases.size
+    # Precompute the (4 ref bases x 10 genotypes) prior template once, then
+    # gather per site — identical math for every implementation.
+    template = np.empty((N_BASES, N_GENOTYPES), dtype=np.float64)
+    for r in range(N_BASES):
+        w = allele_weights(r, params.titv)
+        for gi, (a1, a2) in enumerate(GENOTYPES):
+            if a1 == r and a2 == r:
+                template[r, gi] = np.nan  # filled per-site from (1 - rate)
+            elif a1 == r or a2 == r:
+                x = a2 if a1 == r else a1
+                template[r, gi] = params.het_fraction * w[x]
+            elif a1 == a2:
+                template[r, gi] = params.hom_fraction * w[a1]
+            else:
+                template[r, gi] = params.other_fraction / 3.0
+    pri = template[ref_bases]  # (n, 10)
+    pri = pri * rates[:, None]
+    hom_ref_col = np.array(
+        [GENOTYPES.index((r, r)) for r in range(N_BASES)]
+    )[ref_bases]
+    pri[np.arange(n), hom_ref_col] = 1.0 - rates
+    with np.errstate(divide="ignore"):
+        return np.log10(pri)

@@ -1,0 +1,153 @@
+"""Batch-sort primitive: many equi-sized small arrays in one launch.
+
+This is the primitive of Section IV-C: each CUDA thread block sorts one (or
+several) small arrays with a bitonic network running in shared memory.  The
+simulated kernel performs the real sort (via the shared network schedule)
+and accounts
+
+* one coalesced global load + one coalesced global store for the batch,
+* two shared loads + two shared stores per compare-exchange step when the
+  arrays fit in shared memory,
+* the same traffic against *global* memory otherwise (the slow path the
+  multipass heuristics of [9] avoid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from ..gpusim.device import Device
+from ..gpusim.memory import DeviceArray
+from .bitonic import bitonic_steps, compare_exchange_indices, next_pow2
+
+
+def _batch_bitonic_kernel(
+    ctx, batch: DeviceArray, n_arrays: int, m: int, use_shared: bool
+):
+    """One thread per element; each block owns whole arrays.
+
+    The functional sort runs on the backing store with the same network
+    schedule a per-thread implementation would execute, so results and
+    accounting agree with real lockstep execution.
+    """
+    n_threads = ctx.n_threads
+    elem_idx = ctx.tid  # thread t owns element t of the flattened batch
+    active = elem_idx < n_arrays * m
+    # Stage the batch: coalesced read of every element.
+    if use_shared:
+        _ = ctx.gload(batch, np.minimum(elem_idx, batch.size - 1), active=active)
+        ctx.note_shared(stores=1, active=active)
+    view = batch.data.reshape(n_arrays, m)
+    for k, j in bitonic_steps(m):
+        i, partner, ascending = compare_exchange_indices(m, k, j)
+        # Functional compare-exchange over the whole batch.
+        a = view[:, i]
+        b = view[:, partner]
+        swap = np.where(ascending[None, :], a > b, a < b)
+        view[:, i] = np.where(swap, b, a)
+        view[:, partner] = np.where(swap, a, b)
+        # Accounting: half the threads own a pair; in lockstep the whole
+        # warp still issues the instructions (divergence!).
+        pair_owner = active & (((elem_idx % m) ^ j) > (elem_idx % m))
+        if use_shared:
+            ctx.note_shared(loads=2, stores=2, active=pair_owner)
+            # Compare-exchange + index math + __syncthreads per step; the
+            # whole warp pays even for non-owner lanes (divergence).
+            ctx.instr(12, active=active)
+        else:
+            row = elem_idx // m
+            col = elem_idx % m
+            mine = row * m + col
+            partner_idx = row * m + (col ^ j)
+            _ = ctx.gload(batch, np.minimum(mine, batch.size - 1), active=pair_owner)
+            _ = ctx.gload(
+                batch, np.minimum(partner_idx, batch.size - 1), active=pair_owner
+            )
+            ctx.instr(4, active=pair_owner)
+            # Stores of both elements of the pair.
+            lo = view[:, :].reshape(-1)
+            ctx.gstore(
+                batch,
+                np.minimum(mine, batch.size - 1),
+                lo[np.minimum(mine, batch.size - 1)],
+                active=pair_owner,
+            )
+            ctx.gstore(
+                batch,
+                np.minimum(partner_idx, batch.size - 1),
+                lo[np.minimum(partner_idx, batch.size - 1)],
+                active=pair_owner,
+            )
+    if use_shared:
+        ctx.note_shared(loads=1, active=active)
+        ctx.gstore(
+            batch,
+            np.minimum(elem_idx, batch.size - 1),
+            batch.data.reshape(-1)[np.minimum(elem_idx, batch.size - 1)],
+            active=active,
+        )
+
+
+def batch_sort(
+    device: Device,
+    batch: np.ndarray,
+    name: str = "batch_sort",
+    elem_bytes: int = 4,
+) -> np.ndarray:
+    """Sort each row of a host batch on the simulated GPU.
+
+    ``batch`` is ``(n_arrays, m)`` with ``m`` a power of two (pre-padded
+    with sentinels).  Returns the sorted batch (host array).  Shared memory
+    is used when one array fits in a block's 48 KB, matching the heuristic
+    of Section IV-C.
+    """
+    batch = np.ascontiguousarray(batch)
+    if batch.ndim != 2:
+        raise KernelError("batch must be 2-D")
+    n_arrays, m = batch.shape
+    if m & (m - 1):
+        raise KernelError(f"batch width must be a power of 2, got {m}")
+    if n_arrays == 0 or m <= 1:
+        return batch.copy()
+    use_shared = m * elem_bytes <= device.spec.shared_mem_per_block
+    dev_batch = device.to_device(batch.reshape(-1), name=f"{name}.data")
+    device.launch(
+        _batch_bitonic_kernel,
+        n_arrays * m,
+        dev_batch,
+        n_arrays,
+        m,
+        use_shared,
+        name=name,
+    )
+    out = device.from_device(dev_batch).reshape(n_arrays, m)
+    device.free(dev_batch)
+    return out
+
+
+def pad_rows(
+    rows: np.ndarray,
+    lengths: np.ndarray,
+    width: int,
+    sentinel,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Gather variable-length rows from a flat array into a padded batch.
+
+    ``rows`` is the flat storage; row ``i`` occupies
+    ``rows[offsets[i] : offsets[i] + lengths[i]]``.  Positions beyond each
+    row's length are filled with ``sentinel`` (which must sort after all
+    real values).
+    """
+    n = lengths.size
+    if n == 0:
+        return np.empty((0, width), dtype=rows.dtype)
+    if lengths.max(initial=0) > width:
+        raise KernelError("row longer than batch width")
+    col = np.arange(width)
+    idx = offsets[:, None] + col[None, :]
+    valid = col[None, :] < lengths[:, None]
+    out = np.full((n, width), sentinel, dtype=rows.dtype)
+    out[valid] = rows[idx[valid]]
+    return out

@@ -1,0 +1,83 @@
+"""Vectorized batch bitonic sorting network.
+
+The network schedule is shared by the functional CPU implementation
+(:func:`bitonic_sort_batch`) and the simulated GPU kernel
+(:mod:`repro.sortnet.batch`): for array length ``m`` (a power of two) the
+network runs ``log2(m) * (log2(m)+1) / 2`` compare-exchange steps, and every
+step applies the *same* compare-exchange to all arrays of the batch — the
+SIMD-friendly property that makes bitonic sort the right choice on a GPU
+(Section IV-C) and, conveniently, also the right choice for NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n (and >= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def bitonic_steps(m: int) -> Iterator[tuple[int, int]]:
+    """Yield the (k, j) compare-exchange steps of the network for size m."""
+    if m & (m - 1):
+        raise ValueError(f"bitonic network size must be a power of 2, got {m}")
+    k = 2
+    while k <= m:
+        j = k // 2
+        while j >= 1:
+            yield k, j
+            j //= 2
+        k *= 2
+
+
+def n_steps(m: int) -> int:
+    """Number of compare-exchange steps for size m: log2(m)(log2(m)+1)/2."""
+    lg = int(np.log2(m)) if m > 1 else 0
+    return lg * (lg + 1) // 2
+
+
+def compare_exchange_indices(m: int, k: int, j: int):
+    """Index vectors (i, partner, ascending) for one network step.
+
+    Only positions with ``partner > i`` own a compare-exchange; the
+    returned arrays cover exactly those m/2 pairs.
+    """
+    i = np.arange(m)
+    partner = i ^ j
+    own = partner > i
+    i, partner = i[own], partner[own]
+    ascending = (i & k) == 0
+    return i, partner, ascending
+
+
+def bitonic_sort_batch(batch: np.ndarray) -> np.ndarray:
+    """Sort each row of ``batch`` ascending, in place, via the network.
+
+    ``batch`` must be ``(n_arrays, m)`` with ``m`` a power of two; rows
+    shorter than ``m`` should be pre-padded with a +inf-like sentinel.
+    Returns ``batch`` for convenience.
+    """
+    if batch.ndim != 2:
+        raise ValueError("batch must be 2-D (n_arrays, m)")
+    m = batch.shape[1]
+    if m <= 1:
+        return batch
+    for k, j in bitonic_steps(m):
+        i, partner, ascending = compare_exchange_indices(m, k, j)
+        a = batch[:, i]
+        b = batch[:, partner]
+        swap = np.where(ascending[None, :], a > b, a < b)
+        batch[:, i] = np.where(swap, b, a)
+        batch[:, partner] = np.where(swap, a, b)
+    return batch
+
+
+def compare_exchange_count(m: int) -> int:
+    """Total compare-exchange operations per array of size m."""
+    return n_steps(m) * (m // 2)

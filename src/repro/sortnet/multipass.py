@@ -1,0 +1,203 @@
+"""Multipass sorting of a large number of variable-size small arrays.
+
+Section IV-C: ``base_word`` arrays differ in size across sites, so a single
+batch sort padded to the *largest* size wastes most of its work (the paper
+measures ~4x more elements sorted, ~5x slower).  The multipass scheme
+buckets sites by size class — [0,1], (1,8], (8,16], (16,32], (32,64],
+(64, ...] — and runs one equi-sized batch sort per class, keeping warp
+workloads balanced.
+
+:func:`multipass_sort` is the production entry point used by the GSNP
+pipeline; :func:`singlepass_sort` and :func:`nonequal_sort` are the two
+strawmen of Figure 7(b).  All three return identical results; they differ
+only in padding waste and launch structure, which is what the benchmark
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..constants import BASE_WORD_SENTINEL, MULTIPASS_BOUNDS
+from ..gpusim.device import Device
+from .batch import batch_sort, pad_rows
+from .bitonic import bitonic_sort_batch, n_steps, next_pow2
+
+
+@dataclass
+class SortStats:
+    """Work accounting for one sorting strategy (drives Figure 7b)."""
+
+    strategy: str = ""
+    passes: int = 0
+    real_elements: int = 0
+    padded_elements: int = 0
+    #: Compare-exchange slots executed, including those wasted on padding
+    #: and on lanes idled by workload imbalance.
+    compare_exchanges: int = 0
+    per_pass: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def padding_ratio(self) -> float:
+        """padded / real element ratio (1.0 = no waste)."""
+        if self.real_elements == 0:
+            return 1.0
+        return self.padded_elements / self.real_elements
+
+
+def size_class_of(lengths: np.ndarray, bounds=MULTIPASS_BOUNDS) -> np.ndarray:
+    """Map each array length to its size-class index (0..len(bounds))."""
+    return np.searchsorted(np.asarray(bounds), lengths, side="left")
+
+
+def _sort_bucket(
+    words: np.ndarray,
+    offsets: np.ndarray,
+    lengths: np.ndarray,
+    sel: np.ndarray,
+    width: int,
+    out: np.ndarray,
+    device: Optional[Device],
+    name: str,
+) -> tuple[int, int]:
+    """Sort the selected rows at the given batch width; scatter into out.
+
+    Returns (rows, padded_elements) for accounting.
+    """
+    rows = int(sel.sum())
+    if rows == 0:
+        return 0, 0
+    sub_off = offsets[:-1][sel]
+    sub_len = lengths[sel]
+    batch = pad_rows(words, sub_len, width, BASE_WORD_SENTINEL, sub_off)
+    col = np.arange(width)
+    valid = col[None, :] < sub_len[:, None]
+    idx = sub_off[:, None] + col[None, :]
+    if width > 1:
+        if device is not None:
+            # Staging: gather the scattered per-site segments into the
+            # padded batch and scatter the sorted rows back.  Segments are
+            # short, so each row touches its own cache lines — this
+            # semi-coalesced traffic is a real cost of the batch layout.
+            from ..gpusim.memory import count_transactions
+
+            tx = count_transactions(
+                idx[valid].ravel(), words.itemsize,
+                device.spec.warp_size, device.spec.segment_bytes,
+            )
+            c = device.counters.get(name)
+            c.g_load += tx
+            c.g_store += tx
+            c.g_load_bytes += int(valid.sum()) * words.itemsize
+            c.g_store_bytes += int(valid.sum()) * words.itemsize
+            batch = batch_sort(device, batch, name=name)
+        else:
+            batch = bitonic_sort_batch(batch)
+    out[idx[valid]] = batch[valid]
+    return rows, rows * width
+
+
+def multipass_sort(
+    words: np.ndarray,
+    offsets: np.ndarray,
+    device: Optional[Device] = None,
+    bounds=MULTIPASS_BOUNDS,
+) -> tuple[np.ndarray, SortStats]:
+    """Sort every per-site array with one pass per size class.
+
+    ``words`` is the flat (already key-transformed) uint32 storage;
+    ``offsets`` has ``n_sites + 1`` entries.  When ``device`` is given the
+    batch sorts run as simulated GPU kernels; otherwise a pure-NumPy
+    network is used (the GSNP_CPU configuration... which in the paper uses
+    quicksort — see :mod:`repro.sortnet.cpu_sort` for that baseline).
+
+    Returns ``(sorted_words, stats)``.
+    """
+    lengths = np.diff(offsets)
+    out = words.copy()
+    stats = SortStats(strategy="multipass", real_elements=int(lengths.sum()))
+    classes = size_class_of(lengths, bounds)
+    uppers = list(bounds) + [int(lengths.max(initial=1))]
+    for ci in range(len(bounds) + 1):
+        sel = classes == ci
+        width = next_pow2(int(uppers[ci]))
+        if ci == 0 and bounds and bounds[0] == 1:
+            # Arrays of size 0 or 1 are already sorted; no pass needed.
+            continue
+        rows, padded = _sort_bucket(
+            words, offsets, lengths, sel, width, out, device,
+            name=f"likelihood_sort_c{ci}",
+        )
+        if rows:
+            stats.passes += 1
+            stats.padded_elements += padded
+            stats.compare_exchanges += rows * n_steps(width) * (width // 2)
+            stats.per_pass.append((width, rows))
+    stats.padded_elements += int((lengths <= 1).sum())  # untouched singletons
+    return out, stats
+
+
+def singlepass_sort(
+    words: np.ndarray,
+    offsets: np.ndarray,
+    device: Optional[Device] = None,
+) -> tuple[np.ndarray, SortStats]:
+    """Figure 7(b) strawman: one batch padded to the largest array size."""
+    lengths = np.diff(offsets)
+    out = words.copy()
+    stats = SortStats(strategy="singlepass", real_elements=int(lengths.sum()))
+    if lengths.size == 0:
+        return out, stats
+    width = next_pow2(int(lengths.max(initial=1)))
+    sel = np.ones(lengths.size, dtype=bool)
+    rows, padded = _sort_bucket(
+        words, offsets, lengths, sel, width, out, device,
+        name="likelihood_sort_sp",
+    )
+    stats.passes = 1
+    stats.padded_elements = padded
+    stats.compare_exchanges = rows * n_steps(width) * (width // 2)
+    stats.per_pass.append((width, rows))
+    return out, stats
+
+
+def nonequal_sort(
+    words: np.ndarray,
+    offsets: np.ndarray,
+    device: Optional[Device] = None,
+) -> tuple[np.ndarray, SortStats]:
+    """Figure 7(b) strawman: sort different-size arrays in one launch.
+
+    Each array runs a network sized to its own (power-of-two-rounded)
+    length, but because warps execute in lockstep every warp pays for the
+    *longest* array it carries — the workload imbalance the multipass
+    scheme removes.  Functionally this equals per-size batches; the stats
+    charge each array the step count of the launch-wide maximum.
+    """
+    lengths = np.diff(offsets)
+    out = words.copy()
+    stats = SortStats(strategy="nonequal", real_elements=int(lengths.sum()))
+    if lengths.size == 0:
+        return out, stats
+    max_width = next_pow2(int(lengths.max(initial=1)))
+    widths = np.array([next_pow2(int(l)) for l in lengths])
+    for width in np.unique(widths):
+        if width <= 1:
+            continue
+        sel = widths == width
+        _sort_bucket(
+            words, offsets, lengths, sel, int(width), out, device,
+            name="likelihood_sort_ne",
+        )
+    stats.passes = 1
+    stats.padded_elements = int(widths.sum())
+    # Lockstep imbalance: every array pays the full-depth network at its
+    # own width's pair count.
+    stats.compare_exchanges = int(
+        sum(n_steps(max_width) * (w // 2) for w in widths)
+    )
+    stats.per_pass.append((max_width, int(lengths.size)))
+    return out, stats

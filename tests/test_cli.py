@@ -1,0 +1,91 @@
+"""CLI entry points, end to end through real files."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main_call, main_decompress, main_simulate
+from repro.formats.cns import read_cns
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli")
+    cwd = os.getcwd()
+    os.chdir(d)
+    yield d
+    os.chdir(cwd)
+
+
+@pytest.fixture(scope="module")
+def simulated(workdir):
+    rc = main_simulate(
+        ["--sites", "6000", "--depth", "9", "--prefix", "demo", "--seed", "8"]
+    )
+    assert rc == 0
+    return workdir
+
+
+class TestSimulate:
+    def test_files_written(self, simulated):
+        for ext in (".fa", ".soap", ".prior", ".truth"):
+            assert (simulated / f"demo{ext}").stat().st_size > 0
+
+    def test_truth_has_positions(self, simulated):
+        truth = np.loadtxt(simulated / "demo.truth", skiprows=1)
+        assert truth.shape[1] == 3
+
+
+class TestCall:
+    def test_text_output(self, simulated):
+        rc = main_call(
+            ["demo.fa", "demo.soap", "--prior", "demo.prior",
+             "--engine", "gsnp_cpu", "-o", "out.cns"]
+        )
+        assert rc == 0
+        table = read_cns(simulated / "out.cns")
+        assert table.n_sites == 6000
+
+    def test_engines_agree_via_files(self, simulated):
+        main_call(["demo.fa", "demo.soap", "--prior", "demo.prior",
+                   "--engine", "soapsnp", "-o", "a.cns"])
+        main_call(["demo.fa", "demo.soap", "--prior", "demo.prior",
+                   "--engine", "gsnp", "-o", "b.cns", "--window", "6000"])
+        assert read_cns(simulated / "a.cns").equals(
+            read_cns(simulated / "b.cns")
+        )
+
+    def test_compressed_output(self, simulated):
+        rc = main_call(
+            ["demo.fa", "demo.soap", "--engine", "gsnp", "-o", "out.gsnp",
+             "--compressed", "--window", "6000"]
+        )
+        assert rc == 0
+        assert (simulated / "out.gsnp").stat().st_size < (
+            simulated / "out.cns"
+        ).stat().st_size
+
+
+class TestDecompress:
+    def test_full_roundtrip(self, simulated):
+        main_call(["demo.fa", "demo.soap", "--prior", "demo.prior",
+                   "--engine", "gsnp", "-o", "c.gsnp", "--compressed",
+                   "--window", "6000"])
+        main_call(["demo.fa", "demo.soap", "--prior", "demo.prior",
+                   "--engine", "gsnp", "-o", "c.cns", "--window", "6000"])
+        rc = main_decompress(["c.gsnp", "-o", "d.cns"])
+        assert rc == 0
+        assert read_cns(simulated / "d.cns").equals(
+            read_cns(simulated / "c.cns")
+        )
+
+    def test_range_query(self, simulated):
+        rc = main_decompress(["c.gsnp", "--range", "100:200", "-o", "r.cns"])
+        assert rc == 0
+        t = read_cns(simulated / "r.cns")
+        assert t.n_sites == 100
+
+    def test_snps_only(self, simulated, capsys):
+        rc = main_decompress(["c.gsnp", "--snps-only", "-o", "s.cns"])
+        assert rc == 0

@@ -1,0 +1,78 @@
+"""Property-based container roundtrips on adversarial random tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import decode_table, encode_table
+from repro.constants import GENOTYPES
+from repro.formats.cns import NO_BASE, ResultTable, format_rows, parse_rows
+
+
+def _random_table(rng, n, chrom="chrP"):
+    """A random-but-domain-valid table (quantized floats, ordered pos)."""
+    second = rng.integers(0, 5, n).astype(np.uint8)
+    none = second == NO_BASE
+    return ResultTable(
+        chrom=chrom,
+        pos=1 + np.arange(n, dtype=np.int64),
+        ref_base=rng.integers(0, 4, n).astype(np.uint8),
+        genotype=rng.integers(0, 10, n).astype(np.uint8),
+        quality=rng.integers(0, 100, n).astype(np.uint8),
+        best_base=rng.integers(0, 4, n).astype(np.uint8),
+        avg_qual_best=rng.integers(0, 64, n).astype(np.uint8),
+        count_uni_best=rng.integers(0, 300, n).astype(np.uint16),
+        count_all_best=rng.integers(0, 300, n).astype(np.uint16),
+        second_base=second,
+        avg_qual_second=np.where(none, 0, rng.integers(0, 64, n)).astype(
+            np.uint8
+        ),
+        count_uni_second=np.where(none, 0, rng.integers(0, 99, n)).astype(
+            np.uint16
+        ),
+        count_all_second=np.where(none, 0, rng.integers(0, 99, n)).astype(
+            np.uint16
+        ),
+        depth=rng.integers(0, 500, n).astype(np.uint16),
+        rank_sum=np.round(rng.random(n), 2).astype(np.float32),
+        copy_num=np.round(rng.random(n) * 9, 2).astype(np.float32),
+        known_snp=rng.integers(0, 2, n).astype(np.uint8),
+    )
+
+
+class TestContainerProperty:
+    @given(n=st.integers(1, 400), seed=st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_container_roundtrip(self, n, seed):
+        table = _random_table(np.random.default_rng(seed), n)
+        decoded, offset = decode_table(encode_table(table))
+        assert decoded.equals(table)
+
+    @given(n=st.integers(1, 150), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_text_roundtrip(self, n, seed):
+        table = _random_table(np.random.default_rng(seed), n)
+        assert parse_rows(format_rows(table)).equals(table)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_worst_case_no_runs_still_lossless(self, seed):
+        """Maximum-entropy columns (no runs, all distinct-ish) must stay
+        lossless even if compression gains vanish."""
+        rng = np.random.default_rng(seed)
+        table = _random_table(rng, 256)
+        table.quality = np.arange(256).astype(np.uint8) % 100
+        table.depth = rng.permutation(256).astype(np.uint16)
+        decoded, _ = decode_table(encode_table(table))
+        assert decoded.equals(table)
+
+    def test_all_genotypes_and_bases_covered(self):
+        """One row per genotype x ref-base combination survives."""
+        n = 40
+        table = _random_table(np.random.default_rng(0), n)
+        table.genotype = (np.arange(n) % 10).astype(np.uint8)
+        table.ref_base = (np.arange(n) % 4).astype(np.uint8)
+        decoded, _ = decode_table(encode_table(table))
+        assert decoded.equals(table)
+        assert parse_rows(format_rows(table)).equals(table)

@@ -1,0 +1,102 @@
+"""Bit layouts and lookup tables in repro.constants."""
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+
+
+class TestAlphabet:
+    def test_base_roundtrip(self):
+        for i, b in enumerate(C.BASES):
+            assert C.BASE_TO_CODE[b] == i
+            assert C.CODE_TO_BASE[i] == b
+
+    def test_complement_is_involution(self):
+        comp = C.COMPLEMENT_CODE
+        assert np.array_equal(comp[comp], np.arange(4))
+
+    def test_complement_pairs(self):
+        # A<->T, C<->G
+        assert C.COMPLEMENT_CODE[C.BASE_TO_CODE["A"]] == C.BASE_TO_CODE["T"]
+        assert C.COMPLEMENT_CODE[C.BASE_TO_CODE["C"]] == C.BASE_TO_CODE["G"]
+
+
+class TestBaseWordLayout:
+    def test_fields_do_not_overlap(self):
+        masks = [C.STRAND_MASK, C.COORD_MASK, C.SCORE_MASK, C.BASE_MASK]
+        for i, a in enumerate(masks):
+            for b in masks[i + 1 :]:
+                assert a & b == 0
+
+    def test_fields_cover_17_bits(self):
+        combined = C.STRAND_MASK | C.COORD_MASK | C.SCORE_MASK | C.BASE_MASK
+        assert combined == (1 << 17) - 1
+
+    def test_paper_example_word(self):
+        # Figure 3: word = 1<<15 | 16<<9 | 10<<1 | 1
+        word = 1 << C.BASE_SHIFT | 16 << C.SCORE_SHIFT | 10 << C.COORD_SHIFT | 1
+        assert word == (1 << 15 | 16 << 9 | 10 << 1 | 1)
+
+    def test_field_capacity(self):
+        assert (C.SCORE_MASK >> C.SCORE_SHIFT) == C.N_SCORES - 1
+        assert (C.COORD_MASK >> C.COORD_SHIFT) == C.MAX_READ_LEN - 1
+        assert (C.BASE_MASK >> C.BASE_SHIFT) == C.N_BASES - 1
+
+    def test_sentinel_sorts_after_all_words(self):
+        max_word = C.BASE_MASK | C.SCORE_MASK | C.COORD_MASK | C.STRAND_MASK
+        assert C.BASE_WORD_SENTINEL > max_word
+
+
+class TestGenotypes:
+    def test_ten_unordered_genotypes(self):
+        assert C.N_GENOTYPES == 10
+        assert len(set(C.GENOTYPES)) == 10
+
+    def test_ordering_matches_algorithm1_loops(self):
+        expected = []
+        for a1 in range(4):
+            for a2 in range(a1, 4):
+                expected.append((a1, a2))
+        assert list(C.GENOTYPES) == expected
+
+    def test_dense_to_compact_inverse(self):
+        for gi, (a1, a2) in enumerate(C.GENOTYPES):
+            assert C.DENSE_TO_COMPACT[a1 << 2 | a2] == gi
+
+    def test_dense_to_compact_marks_invalid_slots(self):
+        # a1 > a2 slots are never used.
+        assert C.DENSE_TO_COMPACT[1 << 2 | 0] == -1
+
+    def test_iupac_codes_unique(self):
+        codes = list(C.GENOTYPE_IUPAC.values())
+        assert len(codes) == len(set(codes)) == 10
+
+    def test_iupac_homozygotes_are_plain_bases(self):
+        for i in range(4):
+            assert C.GENOTYPE_IUPAC[(i, i)] == C.BASES[i]
+
+    def test_iupac_inverse(self):
+        for g, c in C.GENOTYPE_IUPAC.items():
+            assert C.IUPAC_GENOTYPE[c] == g
+
+    def test_transitions_symmetric(self):
+        for a, b in C.TRANSITIONS:
+            assert (b, a) in C.TRANSITIONS
+
+
+class TestMatrixGeometry:
+    def test_base_occ_size(self):
+        assert C.BASE_OCC_SIZE == 131072  # the paper's 4*64*256*2
+
+    def test_p_matrix_size(self):
+        assert C.P_MATRIX_SIZE == 64 * 256 * 4 * 4
+
+    def test_new_p_matrix_is_ten_p_matrix_entries_per_cell(self):
+        assert C.NEW_P_MATRIX_SIZE == 64 * 256 * 4 * 10
+
+    def test_multipass_bounds_from_paper(self):
+        assert C.MULTIPASS_BOUNDS == (1, 8, 16, 32, 64)
+
+    def test_output_column_count(self):
+        assert C.N_OUTPUT_COLUMNS == 17

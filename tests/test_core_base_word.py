@@ -1,0 +1,109 @@
+"""Sparse base_word representation: packing, canonical keys, segments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import CANONICAL_SORT_MASK
+from repro.core.base_word import (
+    canonical_keys,
+    decode_keys,
+    extract_words,
+    pack_words,
+    words_from_observations,
+)
+
+
+class TestPackExtract:
+    def test_paper_example(self):
+        # Figure 3: base=1, score=16, coord=10, strand=1.
+        w = pack_words(
+            np.array([1]), np.array([16]), np.array([10]), np.array([1])
+        )
+        assert w[0] == (1 << 15 | 16 << 9 | 10 << 1 | 1)
+
+    def test_roundtrip_corners(self):
+        base = np.array([0, 3, 1, 2])
+        score = np.array([0, 63, 17, 40])
+        coord = np.array([0, 255, 99, 1])
+        strand = np.array([0, 1, 1, 0])
+        b, s, c, t = extract_words(pack_words(base, score, coord, strand))
+        assert np.array_equal(b, base)
+        assert np.array_equal(s, score)
+        assert np.array_equal(c, coord)
+        assert np.array_equal(t, strand)
+
+    @given(
+        st.integers(0, 3), st.integers(0, 63), st.integers(0, 255),
+        st.integers(0, 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, base, score, coord, strand):
+        w = pack_words(
+            np.array([base]), np.array([score]), np.array([coord]),
+            np.array([strand]),
+        )
+        b, s, c, t = extract_words(w)
+        assert (b[0], s[0], c[0], t[0]) == (base, score, coord, strand)
+
+    def test_dtype_uint32(self):
+        w = pack_words(np.array([3]), np.array([63]), np.array([255]),
+                       np.array([1]))
+        assert w.dtype == np.uint32
+
+
+class TestCanonicalKeys:
+    def test_involution(self, rng):
+        words = rng.integers(0, 1 << 17, 1000).astype(np.uint32)
+        assert np.array_equal(decode_keys(canonical_keys(words)), words)
+
+    def test_ascending_key_sort_gives_canonical_order(self, rng):
+        n = 2000
+        base = rng.integers(0, 4, n)
+        score = rng.integers(0, 64, n)
+        coord = rng.integers(0, 256, n)
+        strand = rng.integers(0, 2, n)
+        words = pack_words(base, score, coord, strand)
+        order = np.argsort(canonical_keys(words), kind="stable")
+        b, s, c, t = (base[order], score[order], coord[order], strand[order])
+        # Canonical: base asc, score DESC, coord asc, strand asc.
+        key = (
+            b.astype(np.int64) << 20
+            | (63 - s.astype(np.int64)) << 12
+            | c.astype(np.int64) << 2
+            | t.astype(np.int64)
+        )
+        assert np.all(np.diff(key) >= 0)
+
+    def test_mask_is_score_field(self):
+        assert CANONICAL_SORT_MASK == 0x3F << 9
+
+
+class TestWordsFromObservations:
+    def test_segments_match_counted(self, small_obs):
+        words, offsets = words_from_observations(small_obs)
+        assert words.size == int(small_obs.counted.sum())
+        assert offsets[-1] == words.size
+        assert offsets.size == small_obs.n_sites + 1
+
+    def test_arrival_order_differs_from_canonical(self, small_obs):
+        arr, off = words_from_observations(small_obs, arrival_order=True)
+        can, off2 = words_from_observations(small_obs, arrival_order=False)
+        assert np.array_equal(off, off2)
+        assert not np.array_equal(arr, can)  # the sort has work to do
+
+    def test_same_multiset_per_site(self, small_obs):
+        arr, off = words_from_observations(small_obs, arrival_order=True)
+        can, _ = words_from_observations(small_obs, arrival_order=False)
+        for s in range(0, small_obs.n_sites, 157):
+            a = np.sort(arr[off[s] : off[s + 1]])
+            c = np.sort(can[off[s] : off[s + 1]])
+            assert np.array_equal(a, c)
+
+    def test_canonical_flag_yields_sorted_keys(self, small_obs):
+        can, off = words_from_observations(small_obs, arrival_order=False)
+        keys = canonical_keys(can)
+        for s in range(0, small_obs.n_sites, 211):
+            seg = keys[off[s] : off[s + 1]]
+            assert np.all(np.diff(seg.astype(np.int64)) >= 0)

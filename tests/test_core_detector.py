@@ -1,0 +1,66 @@
+"""High-level detector API."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import Accuracy, GsnpDetector, detect_snps
+
+
+class TestDetector:
+    @pytest.fixture(scope="class")
+    def detector_result(self, small_dataset):
+        det = GsnpDetector(engine="gsnp_cpu", min_quality=13)
+        res = det.run(small_dataset)
+        return det, res
+
+    def test_run_returns_table(self, detector_result, small_dataset):
+        _, res = detector_result
+        assert res.table.n_sites == small_dataset.n_sites
+
+    def test_calls_filtered_by_quality(self, detector_result):
+        det, res = detector_result
+        calls = det.calls(res.table)
+        assert all(c.quality >= 13 for c in calls)
+
+    def test_calls_have_metadata(self, detector_result, small_dataset):
+        det, res = detector_result
+        for c in det.calls(res.table):
+            assert c.chrom == small_dataset.reference.name
+            assert 1 <= c.pos <= small_dataset.n_sites
+
+    def test_score_against_truth(self, detector_result, small_dataset):
+        det, res = detector_result
+        acc = det.score(res.table, small_dataset, min_quality=13)
+        assert acc.recall > 0.6
+        assert acc.precision > 0.6
+
+    def test_all_engines_same_calls(self, small_dataset):
+        tables = {}
+        for engine in ("soapsnp", "gsnp_cpu", "gsnp"):
+            det = GsnpDetector(engine=engine, window_size=2000)
+            tables[engine] = det.run(small_dataset).table
+        assert tables["soapsnp"].equals(tables["gsnp_cpu"])
+        assert tables["soapsnp"].equals(tables["gsnp"])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            GsnpDetector(engine="fpga")
+
+    def test_detect_snps_convenience(self, small_dataset):
+        table, calls = detect_snps(
+            small_dataset, engine="gsnp_cpu", min_quality=20,
+            window_size=2000,
+        )
+        assert table.n_sites == small_dataset.n_sites
+        assert isinstance(calls, list)
+
+
+class TestAccuracy:
+    def test_precision_recall(self):
+        a = Accuracy(true_positives=8, false_positives=2, false_negatives=4)
+        assert a.precision == pytest.approx(0.8)
+        assert a.recall == pytest.approx(8 / 12)
+
+    def test_degenerate_cases(self):
+        a = Accuracy(0, 0, 0)
+        assert a.precision == 1.0 and a.recall == 1.0

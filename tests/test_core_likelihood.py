@@ -1,0 +1,163 @@
+"""GSNP likelihood kernels: the consistency property and counter shapes."""
+
+import numpy as np
+import pytest
+
+from repro.core.base_word import words_from_observations
+from repro.core.counting import gsnp_counting
+from repro.core.likelihood import (
+    ALL_VARIANTS,
+    BASELINE,
+    OPTIMIZED,
+    WITH_SHARED,
+    WITH_TABLE,
+    GsnpTables,
+    gsnp_likelihood_comp,
+    gsnp_likelihood_sort,
+)
+from repro.gpusim.costmodel import GpuCostModel
+from repro.gpusim.device import Device
+from repro.soapsnp.likelihood import window_type_likely
+
+
+@pytest.fixture(scope="module")
+def kernel_setup(small_obs, small_pm_flat, small_penalty):
+    device = Device()
+    tables = GsnpTables.load(device, small_pm_flat, small_penalty)
+    words, offsets = words_from_observations(small_obs, arrival_order=True)
+    wsorted, stats = gsnp_likelihood_sort(device, words, offsets)
+    ref = window_type_likely(small_obs, small_pm_flat, small_penalty)
+    return device, tables, words, wsorted, offsets, stats, ref
+
+
+class TestSort:
+    def test_restores_canonical_order(self, kernel_setup, small_obs):
+        device, tables, words, wsorted, offsets, stats, ref = kernel_setup
+        canonical, _ = words_from_observations(small_obs, arrival_order=False)
+        assert np.array_equal(wsorted, canonical)
+
+    def test_multipass_stats(self, kernel_setup):
+        _, _, _, _, _, stats, _ = kernel_setup
+        assert stats.passes <= 6
+        assert stats.real_elements > 0
+
+    def test_counters_recorded(self, kernel_setup):
+        device = kernel_setup[0]
+        sort_kernels = [
+            k for k in device.counters.entries if "likelihood_sort" in k
+        ]
+        assert sort_kernels
+
+
+class TestConsistency:
+    """§IV-G: every GPU variant equals the dense CPU algorithm bitwise."""
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.name)
+    def test_variant_bitwise_equal(self, kernel_setup, variant):
+        device, tables, _, wsorted, offsets, _, ref = kernel_setup
+        tl = gsnp_likelihood_comp(
+            device, wsorted, offsets, tables, variant,
+            kernel_name=f"test_comp_{variant.name}",
+        )
+        assert np.array_equal(tl, ref)
+
+    def test_unsorted_words_give_wrong_answer(self, kernel_setup):
+        """The sort is load-bearing: feeding arrival-order words changes
+        dep_count sequencing and hence the result."""
+        device, tables, words, wsorted, offsets, _, ref = kernel_setup
+        if np.array_equal(words, wsorted):
+            pytest.skip("arrival order happened to be canonical")
+        tl = gsnp_likelihood_comp(
+            device, words, offsets, tables, OPTIMIZED,
+            kernel_name="test_comp_unsorted",
+        )
+        assert not np.array_equal(tl, ref)
+
+
+class TestCounterShapes:
+    """Table III orderings: shared removes type_likely traffic, the table
+    halves score loads and removes logs."""
+
+    @pytest.fixture(scope="class")
+    def counters(self, small_obs, small_pm_flat, small_penalty):
+        out = {}
+        for variant in ALL_VARIANTS:
+            device = Device()
+            tables = GsnpTables.load(device, small_pm_flat, small_penalty)
+            words, offsets = words_from_observations(small_obs)
+            wsorted, _ = gsnp_likelihood_sort(device, words, offsets)
+            device.reset_counters()
+            gsnp_likelihood_comp(device, wsorted, offsets, tables, variant)
+            out[variant.name] = device.counters.total()
+        return out
+
+    def test_gload_ordering(self, counters):
+        g = {k: c.g_load for k, c in counters.items()}
+        assert g["optimized"] < g["w_shared"]
+        assert g["optimized"] < g["w_new_table"]
+        assert g["w_shared"] < g["baseline"]
+        assert g["w_new_table"] < g["baseline"]
+
+    def test_gload_ratios_near_paper(self, counters):
+        """Paper Table III: 0.70 / 0.64 / 0.36 of baseline."""
+        base = counters["baseline"].g_load
+        assert 0.5 < counters["w_shared"].g_load / base < 0.85
+        assert 0.5 < counters["w_new_table"].g_load / base < 0.85
+        assert 0.25 < counters["optimized"].g_load / base < 0.5
+
+    def test_shared_variants_use_shared_memory(self, counters):
+        assert counters["w_shared"].s_load_warp > 0
+        assert counters["optimized"].s_store_warp > 0
+        assert counters["baseline"].s_load_warp == 0
+        assert counters["w_new_table"].s_load_warp == 0
+
+    def test_shared_removes_global_stores(self, counters):
+        assert counters["w_shared"].g_store < counters["baseline"].g_store
+        assert counters["optimized"].g_store < counters["w_new_table"].g_store
+
+    def test_instructions_reduced_by_table(self, counters):
+        assert counters["w_new_table"].inst_warp < counters["baseline"].inst_warp
+        assert counters["optimized"].inst_warp < counters["w_shared"].inst_warp
+
+    def test_optimized_fastest_in_model(self, counters):
+        model = GpuCostModel()
+        times = {k: model.kernel_time(c) for k, c in counters.items()}
+        assert times["optimized"] == min(times.values())
+        assert times["baseline"] == max(times.values())
+
+    def test_fig8_speedup_band(self, counters):
+        """Fig 8: optimized ~2.4x faster than baseline (we accept 1.5-4x)."""
+        model = GpuCostModel()
+        ratio = model.kernel_time(counters["baseline"]) / model.kernel_time(
+            counters["optimized"]
+        )
+        assert 1.5 < ratio < 4.5
+
+
+class TestCountingKernel:
+    def test_matches_host_construction(self, small_obs):
+        device = Device()
+        words_dev, offsets_dev = gsnp_counting(device, small_obs)
+        words_host, offsets_host = words_from_observations(
+            small_obs, arrival_order=True
+        )
+        assert np.array_equal(offsets_dev, offsets_host)
+        assert np.array_equal(words_dev, words_host)
+
+    def test_kernels_launched(self, small_obs):
+        device = Device()
+        gsnp_counting(device, small_obs)
+        assert "counting_histogram" in device.counters.entries
+        assert "counting_scatter" in device.counters.entries
+
+    def test_empty_observations(self):
+        from repro.align.records import AlignmentBatch
+        from repro.formats.window import Window
+        from repro.soapsnp.observe import extract_observations
+
+        w = Window(start=0, end=5, reads=AlignmentBatch.empty("x", 10))
+        obs = extract_observations(w)
+        device = Device()
+        words, offsets = gsnp_counting(device, obs)
+        assert words.size == 0
+        assert offsets.size == 6

@@ -1,0 +1,70 @@
+"""new_p_matrix: layout, bitwise equality with the direct path."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GENOTYPES, NEW_P_MATRIX_SIZE
+from repro.core.score_table import (
+    build_new_p_matrix,
+    new_p_index,
+    table_contributions,
+)
+from repro.soapsnp.likelihood import direct_contributions
+
+
+@pytest.fixture(scope="module")
+def newp(small_pm_flat):
+    return build_new_p_matrix(small_pm_flat.reshape(64, 256, 4, 4))
+
+
+class TestBuild:
+    def test_size_is_ten_x(self, newp, small_pm_flat):
+        assert newp.size == NEW_P_MATRIX_SIZE
+        assert newp.size == small_pm_flat.size * 10 // 4
+
+    def test_memory_footprint_ratio(self, newp, small_pm_flat):
+        """The paper: 8 MB -> 80 MB (10x); ours preserves the ratio."""
+        assert newp.nbytes == small_pm_flat.nbytes * 10 // 4
+
+    def test_entries_match_algorithm2(self, newp, small_pm_flat, rng):
+        """new_p[(q<<10|c<<2|b)*10+i] == log10(.5 p[a1] + .5 p[a2])."""
+        pm = small_pm_flat.reshape(64, 256, 4, 4)
+        for _ in range(200):
+            q = int(rng.integers(0, 64))
+            c = int(rng.integers(0, 256))
+            b = int(rng.integers(0, 4))
+            i = int(rng.integers(0, 10))
+            a1, a2 = GENOTYPES[i]
+            expected = np.log10(0.5 * pm[q, c, a1, b] + 0.5 * pm[q, c, a2, b])
+            got = newp[new_p_index(q, c, b, i)]
+            assert got == expected  # bitwise
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            build_new_p_matrix(np.zeros((2, 2)))
+
+    def test_all_entries_nonpositive(self, newp):
+        assert np.all(newp <= 0.0)
+
+
+class TestTableVsDirect:
+    def test_bitwise_identical_contributions(self, newp, small_pm_flat, rng):
+        """Algorithm 3 lookups == Algorithm 2 evaluations, bit for bit —
+        the §IV-G consistency mechanism."""
+        m = 5000
+        q = rng.integers(0, 64, m)
+        c = rng.integers(0, 256, m)
+        b = rng.integers(0, 4, m)
+        via_table = table_contributions(newp, q, c, b)
+        via_direct = direct_contributions(small_pm_flat, q, c, b)
+        assert np.array_equal(via_table, via_direct)
+
+    def test_index_vectorized_matches_scalar(self, rng):
+        q = rng.integers(0, 64, 20)
+        c = rng.integers(0, 256, 20)
+        b = rng.integers(0, 4, 20)
+        for i in range(10):
+            vec = new_p_index(q, c, b, i)
+            for j in range(20):
+                scalar = ((int(q[j]) << 10) | (int(c[j]) << 2) | int(b[j])) * 10 + i
+                assert vec[j] == scalar

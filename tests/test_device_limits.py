@@ -1,0 +1,65 @@
+"""Hardware-constraint behavior: the 3 GB M2050 limit and window sizing."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import GsnpPipeline
+from repro.errors import AllocationError
+from repro.gpusim.device import Device
+from repro.gpusim.spec import GpuSpec
+
+
+class TestDeviceMemoryPressure:
+    def test_pipeline_fails_cleanly_on_tiny_device(self, small_dataset):
+        """A device too small for the score tables must raise, not hang or
+        corrupt — mirrors cudaMalloc failure on an undersized card."""
+        tiny = Device(spec=GpuSpec(global_mem_bytes=4 * 1024 * 1024))
+        pipe = GsnpPipeline(window_size=2000, mode="gpu", device=tiny)
+        with pytest.raises(AllocationError):
+            pipe.run(small_dataset)
+
+    def test_pipeline_fits_m2050(self, small_dataset):
+        """The paper's window sizes were chosen so GSNP uses ~1.5 GB of
+        the M2050's 3 GB; our scaled windows stay far below that."""
+        res = GsnpPipeline(window_size=4000, mode="gpu").run(small_dataset)
+        assert res.extras["peak_gpu_bytes"] < GpuSpec().global_mem_bytes / 2
+
+    def test_smaller_windows_use_less_gpu_memory(self, small_dataset):
+        big = GsnpPipeline(window_size=4000, mode="gpu").run(small_dataset)
+        small = GsnpPipeline(window_size=500, mode="gpu").run(small_dataset)
+        assert (
+            small.extras["peak_gpu_bytes"] <= big.extras["peak_gpu_bytes"]
+        )
+        assert small.table.equals(big.table)
+
+    def test_disable_enforcement_allows_oversubscription(self, small_dataset):
+        loose = Device(
+            spec=GpuSpec(global_mem_bytes=1024), enforce_memory=False
+        )
+        pipe = GsnpPipeline(window_size=2000, mode="gpu", device=loose)
+        res = pipe.run(small_dataset)  # no raise
+        assert res.table.n_sites == small_dataset.n_sites
+
+
+class TestScoreTableResidency:
+    def test_tables_live_in_global_and_constant(self, small_pm_flat,
+                                                small_penalty):
+        from repro.core.likelihood import GsnpTables
+
+        device = Device()
+        tables = GsnpTables.load(device, small_pm_flat, small_penalty)
+        assert tables.pm_dev.space == "global"
+        assert tables.newp_dev.space == "global"
+        # The log/penalty table is the paper's constant-memory resident.
+        assert tables.penalty_dev.space == "constant"
+        assert device.constant_used >= small_penalty.nbytes
+
+    def test_new_p_matrix_transfer_accounted(self, small_pm_flat,
+                                             small_penalty):
+        from repro.core.likelihood import GsnpTables
+
+        device = Device()
+        GsnpTables.load(device, small_pm_flat, small_penalty)
+        # p_matrix + new_p_matrix shipped over PCIe.
+        expected = small_pm_flat.nbytes * (1 + 10 / 4)
+        assert device.transfers.h2d_bytes >= expected

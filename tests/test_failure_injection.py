@@ -1,0 +1,142 @@
+"""Failure injection: corrupted inputs must fail loudly, never silently.
+
+A production caller that mis-parses its input corrupts downstream science;
+every decoder in the package raises a typed error on malformed bytes
+instead of returning garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compress import (
+    decode_alignments,
+    decode_table,
+    dict_decode,
+    encode_alignments,
+    encode_table,
+    rle_dict_decode,
+    rle_dict_encode,
+    sparse_decode,
+    sparse_encode,
+    unpack_bits,
+)
+from repro.errors import CodecError, FormatError
+from repro.formats import read_fastq, read_soap
+from repro.soapsnp import SoapsnpPipeline
+
+
+@pytest.fixture(scope="module")
+def table_blob(small_dataset):
+    table = SoapsnpPipeline(window_size=2000).run(small_dataset).table
+    return encode_table(table), table
+
+
+class TestCorruptedContainers:
+    def test_truncated_table_blob(self, table_blob):
+        blob, _ = table_blob
+        with pytest.raises((CodecError, Exception)):
+            decode_table(blob[: len(blob) // 2])
+
+    def test_flipped_magic(self, table_blob):
+        blob, _ = table_blob
+        bad = b"XXXXXX" + blob[6:]
+        with pytest.raises(CodecError, match="magic"):
+            decode_table(bad)
+
+    def test_bitflip_in_payload_detected_or_changed(self, table_blob):
+        """A payload bit flip either raises or produces a different table
+        — it must never silently reproduce the original."""
+        blob, table = table_blob
+        bad = bytearray(blob)
+        bad[len(bad) // 2] ^= 0x40
+        try:
+            decoded, _ = decode_table(bytes(bad))
+        except (CodecError, ValueError, IndexError, KeyError):
+            return
+        assert not decoded.equals(table)
+
+    def test_truncated_alignment_blob(self, small_batch):
+        blob = encode_alignments(small_batch)
+        with pytest.raises(Exception):
+            decode_alignments(blob[:100])
+
+    def test_wrong_alignment_magic(self, small_batch):
+        blob = encode_alignments(small_batch)
+        with pytest.raises(CodecError, match="magic"):
+            decode_alignments(b"NOTGSN" + blob[6:])
+
+
+class TestCorruptedPrimitives:
+    def test_dict_index_out_of_range(self):
+        import struct
+
+        from repro.compress import dict_encode
+
+        blob = bytearray(dict_encode(np.array([5, 6], dtype=np.uint8)))
+        # Widen the declared index width and saturate the payload so the
+        # decoded indices overflow the 2-entry dictionary.
+        count, tag, dict_size, width = struct.unpack_from("<IBHB", blob, 0)
+        struct.pack_into("<IBHB", blob, 0, count, tag, dict_size, 2)
+        blob[-1] = 0xFF
+        with pytest.raises(CodecError, match="index out of range"):
+            dict_decode(bytes(blob))
+
+    def test_unpack_bits_underflow(self):
+        with pytest.raises(CodecError, match="too short"):
+            unpack_bits(b"\xff", 7, 10)
+
+    def test_rle_dict_garbage(self):
+        with pytest.raises(CodecError):
+            rle_dict_decode(b"\x00" * 4)
+
+    def test_rle_dict_declared_sizes_lie(self):
+        import struct
+
+        good = rle_dict_encode(np.array([1, 1, 2], dtype=np.uint8))
+        bad = struct.pack("<II", 10_000, 10_000) + good[8:]
+        with pytest.raises(Exception):
+            rle_dict_decode(bad)
+
+    def test_sparse_truncated(self):
+        blob = sparse_encode(np.array([0, 0, 5], dtype=np.uint8), 0)
+        with pytest.raises(Exception):
+            sparse_decode(blob[:10])
+
+
+class TestCorruptedTextFormats:
+    def test_soap_quality_out_of_range(self, tmp_path):
+        p = tmp_path / "bad.soap"
+        # Quality char beyond Phred 63 (ASCII 33+64=97='a' is invalid).
+        p.write_text("r\tACGT\tzzzz\t1\t4\t+\tchr\t1\n")
+        with pytest.raises(FormatError, match="quality"):
+            read_soap(p)
+
+    def test_soap_invalid_base(self, tmp_path):
+        p = tmp_path / "bad.soap"
+        p.write_text("r\tACGX\t!!!!\t1\t4\t+\tchr\t1\n")
+        with pytest.raises(FormatError, match="base"):
+            read_soap(p)
+
+    def test_fastq_missing_plus(self, tmp_path):
+        p = tmp_path / "bad.fq"
+        p.write_text("@r0\nACGT\n-\n!!!!\n")
+        with pytest.raises(FormatError, match="'\\+'"):
+            read_fastq(p)
+
+    def test_fastq_ragged_records(self, tmp_path):
+        p = tmp_path / "bad.fq"
+        p.write_text("@r0\nACGT\n+\n!!!!\n@r1\nACGT\n")
+        with pytest.raises(FormatError, match="multiple of 4"):
+            read_fastq(p)
+
+    def test_fastq_mixed_lengths(self, tmp_path):
+        p = tmp_path / "bad.fq"
+        p.write_text("@r0\nACGT\n+\n!!!!\n@r1\nACG\n+\n!!!\n")
+        with pytest.raises(FormatError, match="mixed"):
+            read_fastq(p)
+
+    def test_fastq_empty(self, tmp_path):
+        p = tmp_path / "e.fq"
+        p.write_text("")
+        with pytest.raises(FormatError, match="empty"):
+            read_fastq(p)

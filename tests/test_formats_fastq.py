@@ -1,0 +1,78 @@
+"""FASTQ format: roundtrips and domain checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import read_fastq, write_fastq
+
+
+class TestRoundtrip:
+    def test_basic(self, tmp_path, rng):
+        reads = rng.integers(0, 4, (20, 36)).astype(np.uint8)
+        quals = rng.integers(0, 41, (20, 36)).astype(np.uint8)
+        p = tmp_path / "x.fq"
+        write_fastq(p, reads, quals)
+        b, q, names = read_fastq(p)
+        assert np.array_equal(b, reads)
+        assert np.array_equal(q, quals)
+        assert names[0] == "read_0"
+
+    def test_name_prefix(self, tmp_path, rng):
+        reads = rng.integers(0, 4, (2, 8)).astype(np.uint8)
+        quals = rng.integers(0, 41, (2, 8)).astype(np.uint8)
+        p = tmp_path / "x.fq"
+        write_fastq(p, reads, quals, name_prefix="lane3")
+        _, _, names = read_fastq(p)
+        assert names == ["lane3_0", "lane3_1"]
+
+    def test_byte_count(self, tmp_path, rng):
+        reads = rng.integers(0, 4, (5, 10)).astype(np.uint8)
+        quals = rng.integers(0, 41, (5, 10)).astype(np.uint8)
+        p = tmp_path / "x.fq"
+        n = write_fastq(p, reads, quals)
+        assert n == p.stat().st_size
+
+    @given(
+        n=st.integers(1, 40), m=st.integers(1, 30),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip(self, n, m, seed):
+        import tempfile
+        from pathlib import Path
+
+        rng = np.random.default_rng(seed)
+        reads = rng.integers(0, 4, (n, m)).astype(np.uint8)
+        quals = rng.integers(0, 64, (n, m)).astype(np.uint8)
+        with tempfile.TemporaryDirectory() as d:
+            p = Path(d) / "x.fq"
+            write_fastq(p, reads, quals)
+            b, q, _ = read_fastq(p)
+        assert np.array_equal(b, reads) and np.array_equal(q, quals)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_fastq(
+                tmp_path / "x.fq",
+                np.zeros((2, 4), dtype=np.uint8),
+                np.zeros((2, 5), dtype=np.uint8),
+            )
+
+    def test_1d_rejected(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_fastq(
+                tmp_path / "x.fq",
+                np.zeros(4, dtype=np.uint8),
+                np.zeros(4, dtype=np.uint8),
+            )
+
+    def test_missing_at_header(self, tmp_path):
+        p = tmp_path / "bad.fq"
+        p.write_text("r0\nACGT\n+\n!!!!\n")
+        with pytest.raises(FormatError, match="'@'"):
+            read_fastq(p)

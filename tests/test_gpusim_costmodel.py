@@ -1,0 +1,139 @@
+"""Cost models: roofline arithmetic and the paper's bandwidth identities."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BASE_OCC_SIZE
+from repro.gpusim.costmodel import (
+    CpuCostModel,
+    CpuEvents,
+    DiskEvents,
+    DiskModel,
+    GpuCostModel,
+)
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.spec import BGI_PLATFORM, CpuSpec, DiskSpec, GpuSpec
+
+
+class TestGpuCostModel:
+    def test_memory_time_prices_transactions(self):
+        m = GpuCostModel()
+        c = KernelCounters(g_load=1000)
+        expected = 1000 * 128 / 82e9
+        assert m.memory_time(c) == pytest.approx(expected)
+
+    def test_roofline_takes_max(self):
+        m = GpuCostModel()
+        c = KernelCounters(inst_warp=10**9, g_load=1)
+        assert m.kernel_time(c) == pytest.approx(m.instruction_time(c))
+        c2 = KernelCounters(inst_warp=1, g_load=10**9)
+        assert m.kernel_time(c2) == pytest.approx(m.memory_time(c2))
+
+    def test_launch_overhead_added(self):
+        m = GpuCostModel()
+        c = KernelCounters(launches=100)
+        assert m.kernel_time(c) == pytest.approx(100 * m.spec.launch_overhead)
+
+    def test_random_access_effective_bandwidth_matches_measured(self):
+        """Fully random 4-byte loads should land near the measured
+        3.2 GB/s of the paper's M2050."""
+        m = GpuCostModel()
+        n = 10**6
+        c = KernelCounters(g_load=n, g_load_bytes=4 * n)
+        bw = c.g_load_bytes / m.memory_time(c)
+        assert 2e9 < bw < 4e9
+
+    def test_coalesced_effective_bandwidth_near_peak(self):
+        m = GpuCostModel()
+        n = 10**6  # segments, fully used
+        c = KernelCounters(g_load=n, g_load_bytes=128 * n)
+        bw = c.g_load_bytes / m.memory_time(c)
+        assert bw == pytest.approx(82e9)
+
+    def test_transfer_time(self):
+        m = GpuCostModel()
+        assert m.transfer_time(5_000_000_000) == pytest.approx(1.0)
+
+
+class TestCpuCostModel:
+    def test_formula1_paper_estimate(self):
+        """Formula (1) with the paper's constants: Ch.1's dense scan is
+        ~7700s, i.e. 65-70% of the measured 12267s likelihood time."""
+        m = CpuCostModel()
+        t = m.base_occ_scan_time(247_000_000, BASE_OCC_SIZE)
+        assert 0.60 <= t / 12267 <= 0.70
+
+    def test_recycle_estimate_share(self):
+        m = CpuCostModel()
+        t = m.base_occ_scan_time(247_000_000, BASE_OCC_SIZE)
+        assert 0.85 <= t / 8214 <= 1.0
+
+    def test_event_terms_additive(self):
+        m = CpuCostModel()
+        e = CpuEvents(
+            seq_read_bytes=4_200_000_000,
+            random_accesses=10**6,
+            instructions=2_000_000_000,
+            log_calls=10**6,
+        )
+        expected = 1.0 + 10**6 * 60e-9 + 1.0 + 10**6 * 30e-9
+        assert m.time(e) == pytest.approx(expected)
+
+    def test_events_merge(self):
+        a = CpuEvents(seq_read_bytes=10, instructions=5)
+        b = CpuEvents(seq_read_bytes=1, log_calls=2)
+        a.merge(b)
+        assert a.seq_read_bytes == 11 and a.log_calls == 2 and a.instructions == 5
+
+    def test_events_scaled(self):
+        e = CpuEvents(seq_read_bytes=10, random_accesses=3)
+        s = e.scaled(1000)
+        assert s.seq_read_bytes == 10_000 and s.random_accesses == 3000
+        assert e.seq_read_bytes == 10  # original untouched
+
+
+class TestDiskModel:
+    def test_sequential_write(self):
+        m = DiskModel()
+        assert m.time(DiskEvents(write_bytes=90_000_000)) == pytest.approx(1.0)
+
+    def test_buffered_read_faster(self):
+        m = DiskModel()
+        cold = m.time(DiskEvents(read_bytes=10**9))
+        warm = m.time(DiskEvents(read_buffered_bytes=10**9))
+        assert warm < cold
+
+    def test_format_cost_dominates_small_writes(self):
+        """The paper: output is dominated by conversion + disk; formatting
+        17 GB at 20ns/byte is ~340s on top of ~190s disk."""
+        m = DiskModel()
+        e = DiskEvents(write_bytes=17 * 10**9, formatted_bytes=17 * 10**9)
+        t = m.time(e)
+        assert 450 <= t <= 650  # paper Table I: 550s
+
+    def test_disk_events_scaled(self):
+        e = DiskEvents(read_bytes=7, parsed_bytes=2)
+        s = e.scaled(10)
+        assert s.read_bytes == 70 and s.parsed_bytes == 20
+
+
+class TestSpecs:
+    def test_default_platform_matches_paper(self):
+        assert BGI_PLATFORM.gpu.bw_coalesced == 82e9
+        assert BGI_PLATFORM.gpu.bw_random == 3.2e9
+        assert BGI_PLATFORM.cpu.bw_sequential == 4.2e9
+        assert BGI_PLATFORM.disk.bw_sequential == 90e6
+
+    def test_m2050_shape(self):
+        g = GpuSpec()
+        assert g.cores == 448 and g.global_mem_bytes == 3 * 1024**3
+        assert g.shared_mem_per_block == 48 * 1024
+        assert g.l2_bytes == 768 * 1024
+
+    def test_specs_frozen(self):
+        with pytest.raises(AttributeError):
+            GpuSpec().cores = 1
+        with pytest.raises(AttributeError):
+            CpuSpec().cores = 1
+        with pytest.raises(AttributeError):
+            DiskSpec().bw_sequential = 1

@@ -1,0 +1,122 @@
+"""Device allocation, transfers, and launch validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, DeviceError, KernelError
+from repro.gpusim.device import Device
+from repro.gpusim.spec import GpuSpec
+
+
+def _noop_kernel(ctx):
+    ctx.instr(1)
+
+
+class TestAllocation:
+    def test_alloc_zero_initialized(self, device):
+        arr = device.alloc(100, np.float64, "buf")
+        assert arr.data.sum() == 0.0
+        assert device.global_used == 800
+
+    def test_free_returns_memory(self, device):
+        arr = device.alloc(100, np.float64)
+        device.free(arr)
+        assert device.global_used == 0
+
+    def test_double_free_rejected(self, device):
+        arr = device.alloc(10, np.uint8)
+        device.free(arr)
+        with pytest.raises(DeviceError, match="double free"):
+            device.free(arr)
+
+    def test_use_after_free_rejected(self, device):
+        arr = device.alloc(10, np.uint8)
+        device.free(arr)
+        with pytest.raises(DeviceError, match="freed"):
+            arr.flat_view()
+
+    def test_global_memory_limit_enforced(self):
+        dev = Device(spec=GpuSpec(global_mem_bytes=1024))
+        with pytest.raises(AllocationError, match="global memory overflow"):
+            dev.alloc(2048, np.uint8)
+
+    def test_peak_tracks_high_water_mark(self, device):
+        a = device.alloc(1000, np.uint8)
+        device.free(a)
+        device.alloc(10, np.uint8)
+        assert device.peak_global_used == 1000
+
+    def test_constant_memory_limit(self, device):
+        big = np.zeros(device.spec.constant_mem_bytes + 1, dtype=np.uint8)
+        with pytest.raises(AllocationError, match="constant"):
+            device.to_constant(big, "too_big")
+
+    def test_constant_memory_fits_log_table(self, device):
+        # The 64-entry log table of Section IV-G trivially fits.
+        table = np.log10(np.arange(1, 65, dtype=np.float64))
+        arr = device.to_constant(table, "log_table")
+        assert arr.space == "constant"
+
+
+class TestTransfers:
+    def test_h2d_accounted(self, device):
+        host = np.arange(1000, dtype=np.int32)
+        device.to_device(host, "x")
+        assert device.transfers.h2d_bytes == 4000
+        assert device.transfers.h2d_count == 1
+
+    def test_d2h_accounted(self, device):
+        arr = device.to_device(np.arange(10, dtype=np.int64))
+        out = device.from_device(arr)
+        assert device.transfers.d2h_bytes == 80
+        assert np.array_equal(out, np.arange(10))
+
+    def test_to_device_copies(self, device):
+        host = np.zeros(4)
+        arr = device.to_device(host)
+        host[0] = 5.0
+        assert arr.data[0] == 0.0
+
+    def test_reset_counters(self, device):
+        device.to_device(np.zeros(10))
+        device.launch(_noop_kernel, 32)
+        device.reset_counters()
+        assert device.transfers.h2d_bytes == 0
+        assert device.counters.total().inst_warp == 0
+
+
+class TestLaunch:
+    def test_counters_accumulate_by_name(self, device):
+        device.launch(_noop_kernel, 32, name="k")
+        device.launch(_noop_kernel, 32, name="k")
+        c = device.counters.get("k")
+        assert c.launches == 2
+        assert c.inst_warp == 2
+
+    def test_default_name_is_function_name(self, device):
+        device.launch(_noop_kernel, 32)
+        assert "_noop_kernel" in device.counters.entries
+
+    def test_negative_threads_rejected(self, device):
+        with pytest.raises(DeviceError):
+            device.launch(_noop_kernel, -1)
+
+    def test_block_size_must_be_warp_multiple(self, device):
+        with pytest.raises(DeviceError, match="block_size"):
+            device.launch(_noop_kernel, 32, block_size=48)
+
+    def test_shared_memory_request_limit(self, device):
+        with pytest.raises(DeviceError, match="shared memory"):
+            device.launch(
+                _noop_kernel, 32, shared_bytes=device.spec.shared_mem_per_block + 1
+            )
+
+    def test_kernel_return_value_passed_through(self, device):
+        def k(ctx, x):
+            return x * 2
+
+        assert device.launch(k, 32, 21) == 42
+
+    def test_zero_thread_launch(self, device):
+        device.launch(_noop_kernel, 0, name="empty")
+        assert device.counters.get("empty").inst_warp == 0

@@ -1,0 +1,60 @@
+"""Bench harness: fraction scaling, caching, cheap experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    bench_dataset,
+    bench_spec,
+    exp_fig4b,
+    exp_fig7a,
+    exp_table2,
+)
+from repro.seqsim.datasets import CH1_SPEC, CH21_SPEC
+
+
+class TestBenchSpec:
+    def test_fraction_shrinks_but_extrapolates_to_same_scale(self):
+        for frac in (0.1, 0.5, 1.0):
+            spec = bench_spec("ch1-sim", frac)
+            full = spec.n_sites * spec.scale_factor
+            assert full == pytest.approx(
+                CH1_SPEC.n_sites * CH1_SPEC.scale_factor, rel=1e-6
+            )
+
+    def test_floor_at_2000_sites(self):
+        spec = bench_spec("ch21-sim", 0.001)
+        assert spec.n_sites == 2000
+
+    def test_preserves_depth_and_coverage(self):
+        spec = bench_spec("ch21-sim", 0.3)
+        assert spec.depth == CH21_SPEC.depth
+        assert spec.coverage == CH21_SPEC.coverage
+
+    def test_dataset_cache_returns_same_object(self):
+        a = bench_dataset("ch21-sim", 0.1)
+        b = bench_dataset("ch21-sim", 0.1)
+        assert a is b
+
+
+class TestCheapExperiments:
+    def test_table2_summary_keys(self):
+        data = exp_table2(0.1)
+        for name in ("ch1-sim", "ch21-sim"):
+            s = data[name]
+            for key in ("sites", "depth", "coverage", "reads",
+                        "input_bytes"):
+                assert key in s
+
+    def test_fig4b_histogram_complete(self):
+        data = exp_fig4b("ch21-sim", 0.1)
+        assert sum(data["histogram"].values()) == pytest.approx(100.0)
+        assert data["nonzero_pct"] < 0.1
+
+    def test_fig7a_throughput_structure(self):
+        data = exp_fig7a(sizes=(8, 32), n_arrays=128)
+        assert set(data) == {8, 32}
+        for v in data.values():
+            assert v["gpu_batch_bitonic"] > 0
+            assert v["gpu_seq_radix"] > 0
+            assert v["cpu_parallel"] > 0

@@ -1,0 +1,54 @@
+"""Parallel CPU cost model: the memory-bandwidth wall (Section VI-A)."""
+
+import pytest
+
+from repro.gpusim.costmodel import CpuCostModel, CpuEvents
+
+
+class TestTimeParallel:
+    def test_compute_bound_scales_with_threads(self):
+        m = CpuCostModel()
+        e = CpuEvents(instructions=32 * 10**9)
+        t1 = m.time(e)
+        t16 = m.time_parallel(e, threads=16)
+        assert t1 / t16 == pytest.approx(16.0)
+
+    def test_memory_bound_capped_by_bandwidth(self):
+        m = CpuCostModel()
+        e = CpuEvents(seq_read_bytes=42 * 10**9)
+        t1 = m.time(e)
+        t16 = m.time_parallel(e, threads=16, mem_bw_scale=3.0)
+        assert t1 / t16 == pytest.approx(3.0)
+
+    def test_single_thread_equals_serial_model(self):
+        m = CpuCostModel()
+        e = CpuEvents(
+            seq_read_bytes=10**9, random_accesses=10**6,
+            instructions=10**9, log_calls=10**5,
+        )
+        assert m.time_parallel(e, threads=1) == pytest.approx(m.time(e))
+
+    def test_mem_scale_never_exceeds_threads(self):
+        m = CpuCostModel()
+        e = CpuEvents(seq_read_bytes=10**9)
+        t2 = m.time_parallel(e, threads=2, mem_bw_scale=3.0)
+        assert m.time(e) / t2 <= 2.0 + 1e-9
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            CpuCostModel().time_parallel(CpuEvents(), threads=0)
+
+    def test_soapsnp_mix_lands_in_paper_band(self):
+        """A SOAPsnp-like event mix (dominant dense scans + some compute)
+        gains 2.5-4.5x with 16 threads — the paper's 3-4x observation."""
+        m = CpuCostModel()
+        # Ch.21-like likelihood+recycle mix.
+        e = CpuEvents(
+            seq_read_bytes=6_160_000_000_000,   # dense scans
+            seq_write_bytes=6_160_000_000_000,  # recycle memsets
+            random_accesses=9_000_000_000,
+            instructions=9_000_000_000,
+            log_calls=4_500_000_000,
+        )
+        speedup = m.time(e) / m.time_parallel(e, threads=16)
+        assert 2.5 < speedup < 4.5

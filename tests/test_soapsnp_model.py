@@ -1,0 +1,138 @@
+"""Calling parameters, priors, and the calibrated p_matrix."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GENOTYPES, N_BASES
+from repro.soapsnp import (
+    CallingParams,
+    allele_weights,
+    build_p_matrix,
+    calibration_counts,
+    genotype_log_priors,
+    p_matrix_index,
+    theoretical_p_matrix,
+)
+from repro.soapsnp.p_matrix import flatten_p_matrix
+
+
+class TestCallingParams:
+    def test_defaults_valid(self):
+        CallingParams()
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            CallingParams(het_fraction=0.5, hom_fraction=0.5, other_fraction=0.5)
+
+    def test_read_len_bounds(self):
+        with pytest.raises(ValueError):
+            CallingParams(read_len=0)
+        with pytest.raises(ValueError):
+            CallingParams(read_len=300)
+
+    def test_penalty_table_from_dependency(self):
+        p = CallingParams(pcr_dependency=0.5)
+        assert p.penalty_table()[1] == 3
+
+
+class TestAlleleWeights:
+    def test_sum_to_one_excluding_ref(self):
+        for r in range(N_BASES):
+            w = allele_weights(r, titv=4.0)
+            assert w[r] == 0.0
+            assert w.sum() == pytest.approx(1.0)
+
+    def test_transition_favored(self):
+        w = allele_weights(0, titv=4.0)  # ref A; transition partner G=2
+        assert w[2] == pytest.approx(4.0 / 6.0)
+        assert w[1] == pytest.approx(1.0 / 6.0)
+
+
+class TestGenotypePriors:
+    def test_priors_sum_to_one(self):
+        params = CallingParams()
+        ref = np.arange(4)
+        rates = np.full(4, 0.01)
+        lp = genotype_log_priors(ref, rates, params)
+        totals = np.power(10.0, lp).sum(axis=1)
+        assert np.allclose(totals, 1.0)
+
+    def test_hom_ref_dominates(self):
+        params = CallingParams()
+        lp = genotype_log_priors(np.array([2]), np.array([0.001]), params)
+        hom_ref = GENOTYPES.index((2, 2))
+        assert lp[0].argmax() == hom_ref
+
+    def test_known_snp_rate_raises_het_prior(self):
+        params = CallingParams()
+        low = genotype_log_priors(np.array([0]), np.array([0.001]), params)
+        high = genotype_log_priors(np.array([0]), np.array([0.3]), params)
+        het_ag = GENOTYPES.index((0, 2))
+        assert high[0, het_ag] > low[0, het_ag]
+
+    def test_transition_het_beats_transversion_het(self):
+        params = CallingParams(titv=4.0)
+        lp = genotype_log_priors(np.array([0]), np.array([0.01]), params)
+        assert lp[0, GENOTYPES.index((0, 2))] > lp[0, GENOTYPES.index((0, 1))]
+
+
+class TestTheoreticalPMatrix:
+    def test_rows_are_distributions(self):
+        t = theoretical_p_matrix()
+        assert np.allclose(t.sum(axis=3), 1.0)
+
+    def test_high_quality_confident(self):
+        t = theoretical_p_matrix()
+        assert t[40, 0, 1, 1] >= 0.9999
+        assert t[40, 0, 1, 0] < 1e-4
+
+    def test_quality_zero_uniform(self):
+        t = theoretical_p_matrix()
+        assert t[0, 0, 0, 0] == pytest.approx(0.25)
+
+
+class TestCalibration:
+    def test_counts_shape_and_mass(self, small_batch, small_dataset):
+        c = calibration_counts(small_batch, small_dataset.reference)
+        uniq = small_batch.hits == 1
+        assert c.sum() == int(uniq.sum()) * small_batch.read_len
+
+    def test_counts_concentrate_on_diagonal(self, small_batch, small_dataset):
+        c = calibration_counts(small_batch, small_dataset.reference)
+        total = c.sum()
+        diag = sum(c[:, :, a, a].sum() for a in range(4))
+        assert diag / total > 0.95  # ~2% errors + SNPs
+
+    def test_p_matrix_rows_are_distributions(self, small_pm_flat):
+        pm = small_pm_flat.reshape(64, 256, 4, 4)
+        assert np.allclose(pm.sum(axis=3), 1.0)
+
+    def test_p_matrix_between_theory_and_data(
+        self, small_batch, small_dataset, small_params
+    ):
+        pm = build_p_matrix(small_batch, small_dataset.reference, small_params)
+        # Cells with no data fall back to the theoretical model.
+        theory = theoretical_p_matrix()
+        # Coordinates beyond the read length have no observations at all.
+        assert np.allclose(pm[:, 150], theory[:, 150])
+
+    def test_index_layout_matches_flatten(self, small_pm_flat):
+        pm = small_pm_flat.reshape(64, 256, 4, 4)
+        rng = np.random.default_rng(0)
+        q = rng.integers(0, 64, 50)
+        c = rng.integers(0, 256, 50)
+        a = rng.integers(0, 4, 50)
+        b = rng.integers(0, 4, 50)
+        flat = small_pm_flat[p_matrix_index(q, c, a, b)]
+        assert np.array_equal(flat, pm[q, c, a, b])
+
+    def test_flatten_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            flatten_p_matrix(np.zeros((4, 4)))
+
+    def test_empty_batch(self, small_dataset):
+        from repro.align.records import AlignmentBatch
+
+        empty = AlignmentBatch.empty("x", 100)
+        c = calibration_counts(empty, small_dataset.reference)
+        assert c.sum() == 0

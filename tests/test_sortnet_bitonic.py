@@ -1,0 +1,97 @@
+"""Bitonic network schedule and vectorized batch sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sortnet.bitonic import (
+    bitonic_sort_batch,
+    bitonic_steps,
+    compare_exchange_count,
+    compare_exchange_indices,
+    n_steps,
+    next_pow2,
+)
+
+
+class TestNextPow2:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (8, 8), (9, 16), (100, 128), (256, 256)],
+    )
+    def test_values(self, n, expected):
+        assert next_pow2(n) == expected
+
+
+class TestSchedule:
+    def test_step_count_formula(self):
+        for m in (2, 4, 8, 64, 256):
+            lg = int(np.log2(m))
+            assert n_steps(m) == lg * (lg + 1) // 2
+            assert len(list(bitonic_steps(m))) == n_steps(m)
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            list(bitonic_steps(6))
+
+    def test_each_step_covers_half_the_positions(self):
+        for k, j in bitonic_steps(16):
+            i, partner, asc = compare_exchange_indices(16, k, j)
+            assert i.size == 8
+            assert np.all(partner > i)
+            assert np.all((i ^ j) == partner)
+
+    def test_compare_exchange_count(self):
+        assert compare_exchange_count(8) == n_steps(8) * 4
+
+
+class TestBatchSort:
+    def test_sorts_each_row(self, rng):
+        batch = rng.integers(0, 1000, (40, 32)).astype(np.uint32)
+        out = bitonic_sort_batch(batch.copy())
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_in_place(self, rng):
+        batch = rng.integers(0, 9, (4, 8)).astype(np.int64)
+        out = bitonic_sort_batch(batch)
+        assert out is batch
+
+    def test_width_one_noop(self):
+        batch = np.array([[3], [1]])
+        assert np.array_equal(bitonic_sort_batch(batch.copy()), batch)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            bitonic_sort_batch(np.arange(8))
+
+    def test_sentinel_padding_stays_at_end(self, rng):
+        batch = rng.integers(0, 100, (10, 16)).astype(np.uint32)
+        batch[:, 12:] = np.uint32(0xFFFFFFFF)
+        out = bitonic_sort_batch(batch.copy())
+        assert np.all(out[:, 12:] == 0xFFFFFFFF)
+        assert np.array_equal(out[:, :12], np.sort(batch[:, :12], axis=1))
+
+    def test_signed_and_float_dtypes(self, rng):
+        for dtype in (np.int64, np.float64):
+            batch = rng.standard_normal((8, 16)).astype(dtype)
+            out = bitonic_sort_batch(batch.copy())
+            assert np.array_equal(out, np.sort(batch, axis=1))
+
+    @given(
+        st.integers(0, 5),  # log2 width
+        st.integers(1, 30),  # rows
+        st.integers(0, 2**31),  # seed
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_equals_npsort(self, logw, rows, seed):
+        m = 2**logw
+        r = np.random.default_rng(seed)
+        batch = r.integers(0, 2**17, (rows, m)).astype(np.uint32)
+        out = bitonic_sort_batch(batch.copy())
+        assert np.array_equal(out, np.sort(batch, axis=1))
+
+    def test_duplicates_preserved(self):
+        batch = np.array([[5, 5, 1, 1, 5, 1, 1, 5]], dtype=np.int64)
+        out = bitonic_sort_batch(batch.copy())
+        assert np.array_equal(out[0], [1, 1, 1, 1, 5, 5, 5, 5])

@@ -1,0 +1,47 @@
+"""Cross-engine verification harness."""
+
+import numpy as np
+import pytest
+
+from repro.validate import VerificationReport, verify_engines
+
+
+class TestVerifyEngines:
+    @pytest.fixture(scope="class")
+    def report(self, small_dataset):
+        return verify_engines(
+            small_dataset, window_sizes=(900, 2048)
+        )
+
+    def test_all_checks_pass(self, report):
+        assert report.passed, report.summary()
+
+    def test_covers_variants_and_compression(self, report):
+        names = [n for n, _ in report.checks]
+        assert any("baseline" in n for n in names)
+        assert any("optimized" in n for n in names)
+        assert any("compression" in n for n in names)
+        assert any("window" in n for n in names)
+
+    def test_summary_format(self, report):
+        s = report.summary()
+        assert "ALL CHECKS PASSED" in s
+        assert s.count("PASS") >= len(report.checks)
+
+    def test_report_detects_failure(self):
+        r = VerificationReport()
+        r.record("a", True)
+        r.record("b", False)
+        assert not r.passed
+        assert "FAIL" in r.summary()
+        assert "FAILURES PRESENT" in r.summary()
+
+    def test_minimal_options(self, tiny_dataset):
+        r = verify_engines(
+            tiny_dataset,
+            window_sizes=(400,),
+            check_variants=False,
+            check_compression=False,
+        )
+        assert r.passed
+        assert len(r.checks) == 2  # just the two engine comparisons
