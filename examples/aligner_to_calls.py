@@ -16,11 +16,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import DatasetSpec, GsnpDetector, generate_dataset
+from repro import DatasetSpec, Engine, GsnpDetector, generate_dataset
 from repro.align import Aligner
+from repro.core.detector import dataset_from_alignments
 from repro.formats.soap import read_soap, write_soap
-from repro.seqsim.datasets import SimulatedDataset
-from repro.seqsim.reads import ReadSet, reverse_complement_view
+from repro.seqsim.reads import reverse_complement_view
 
 
 def main() -> None:
@@ -54,19 +54,18 @@ def main() -> None:
     print(f"wrote {nbytes} bytes of SOAP alignments to {soap_path}")
     batch2 = read_soap(soap_path)
 
-    # 4. Call SNPs from the aligner's output.
-    aligned_dataset = SimulatedDataset(
-        spec=dataset.spec,
-        reference=dataset.reference,
-        diploid=dataset.diploid,
-        reads=ReadSet(
-            chrom=batch2.chrom, read_len=batch2.read_len, pos=batch2.pos,
-            strand=batch2.strand, hits=batch2.hits, bases=batch2.bases,
-            quals=batch2.quals,
+    # 4. Call SNPs from the aligner's output.  dataset_from_alignments
+    # wraps the parsed batch; planted truth is grafted back for scoring.
+    from dataclasses import replace
+
+    aligned_dataset = replace(
+        dataset_from_alignments(
+            dataset.reference, batch2, prior=dataset.prior
         ),
-        prior=dataset.prior,
+        spec=dataset.spec,
+        diploid=dataset.diploid,
     )
-    detector = GsnpDetector(engine="gsnp_cpu", min_quality=13)
+    detector = GsnpDetector(engine=Engine.GSNP_CPU, min_quality=13)
     result = detector.run(aligned_dataset)
     acc = detector.score(result.table, aligned_dataset, min_quality=13)
     print(

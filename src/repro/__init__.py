@@ -10,10 +10,10 @@ compression stack.
 
 Quick start::
 
-    from repro import generate_dataset, CH21_SPEC, GsnpDetector
+    from repro import generate_dataset, CH21_SPEC, Engine, GsnpDetector
 
     dataset = generate_dataset(CH21_SPEC)
-    detector = GsnpDetector(engine="gsnp")
+    detector = GsnpDetector(engine=Engine.GSNP, workers=4)
     result = detector.run(dataset)
     for call in detector.calls(result.table):
         print(call.pos, call.quality)
@@ -23,6 +23,10 @@ paper-vs-measured record of every table and figure.
 """
 
 from .constants import GENOTYPES, GENOTYPE_IUPAC, N_GENOTYPES
+
+# .core must initialize before .api: core.detector pulls .api mid-init,
+# which in turn only needs core *sub-modules* (resolvable while the core
+# package is still initializing), not the core package itself.
 from .core import (
     Accuracy,
     GsnpDetector,
@@ -31,6 +35,7 @@ from .core import (
     SnpCall,
     detect_snps,
 )
+from .api import Engine, Pipeline, create_pipeline, engine_names
 from .formats.cns import ResultTable, read_cns, write_cns
 from .gpusim import BGI_PLATFORM, Device, GpuCostModel
 from .seqsim import (
@@ -42,6 +47,7 @@ from .seqsim import (
     generate_dataset,
     whole_genome_specs,
 )
+from .exec import ExecConfig, execute
 from .soapsnp import CallingParams, SoapsnpPipeline, SoapsnpResult
 from .validate import VerificationReport, verify_engines
 
@@ -55,6 +61,8 @@ __all__ = [
     "CallingParams",
     "DatasetSpec",
     "Device",
+    "Engine",
+    "ExecConfig",
     "GENOTYPES",
     "GENOTYPE_IUPAC",
     "GpuCostModel",
@@ -62,6 +70,7 @@ __all__ = [
     "GsnpPipeline",
     "GsnpResult",
     "N_GENOTYPES",
+    "Pipeline",
     "QualityModel",
     "ResultTable",
     "SimulatedDataset",
@@ -70,7 +79,10 @@ __all__ = [
     "SoapsnpResult",
     "VerificationReport",
     "__version__",
+    "create_pipeline",
     "detect_snps",
+    "engine_names",
+    "execute",
     "generate_dataset",
     "read_cns",
     "verify_engines",

@@ -1,0 +1,193 @@
+"""The unified pipeline API: engines, registry, and the Pipeline protocol.
+
+Three engines produce bitwise-identical calls (§IV-G): the dense SOAPsnp
+baseline, the sparse GSNP algorithm on the CPU, and the same algorithm on
+the simulated GPU.  This module names them with :class:`Engine`, describes
+how to build each one in a registry of :class:`EngineSpec` entries, and
+pins the interface they share as the :class:`Pipeline` protocol — so the
+detector facade, the sharded executor (:mod:`repro.exec`) and the bench
+harness all dispatch through one code path instead of per-engine branches.
+
+The registry is open: :func:`register_engine` admits additional engines
+(e.g. an experimental backend) and every error message and CLI choice list
+derives from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+from .constants import DEFAULT_WINDOW_GSNP, DEFAULT_WINDOW_SOAPSNP
+from .core.likelihood import OPTIMIZED, LikelihoodVariant
+from .core.pipeline import GsnpPipeline
+from .soapsnp.pipeline import SoapsnpPipeline
+
+
+class Engine(str, Enum):
+    """The three interchangeable SNP-calling engines."""
+
+    GSNP = "gsnp"  # sparse algorithm on the simulated GPU
+    GSNP_CPU = "gsnp_cpu"  # sparse algorithm on the host
+    SOAPSNP = "soapsnp"  # dense baseline on the host
+
+    def __str__(self) -> str:  # argparse/message friendliness
+        return self.value
+
+
+@runtime_checkable
+class Pipeline(Protocol):
+    """What every engine's pipeline exposes.
+
+    ``run`` calls SNPs over a dataset (optionally restricted to a
+    ``site_range`` of whole windows, with a shared precomputed
+    ``calibration``) and returns a result carrying ``table`` (the
+    :class:`~repro.formats.cns.ResultTable`) and ``profile`` (the
+    :class:`~repro.bench.events.RunProfile` event records).  ``calibrate``
+    performs the one-time ``cal_p_matrix`` input pass whose product can be
+    shared across shards.
+    """
+
+    window_size: int
+
+    def calibrate(self, dataset: Any, reads: Any = None) -> Any: ...
+
+    def run(
+        self,
+        dataset: Any,
+        output_path: Any = None,
+        *,
+        site_range: Optional[tuple[int, int]] = None,
+        calibration: Any = None,
+        reads: Any = None,
+    ) -> Any: ...
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Registry entry describing how to build one engine's pipeline."""
+
+    name: str
+    summary: str
+    factory: Callable[..., Pipeline]
+    #: Hard window-size cap (the dense baseline cannot afford big windows).
+    max_window: Optional[int] = None
+    #: Display name used by bench tables/figures (defaults to ``name``).
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            object.__setattr__(self, "label", self.name)
+
+
+def _gsnp_factory(params, window_size, variant, device) -> Pipeline:
+    return GsnpPipeline(
+        params=params, window_size=window_size, mode="gpu",
+        variant=variant, device=device,
+    )
+
+
+def _gsnp_cpu_factory(params, window_size, variant, device) -> Pipeline:
+    return GsnpPipeline(
+        params=params, window_size=window_size, mode="cpu", variant=variant
+    )
+
+
+def _soapsnp_factory(params, window_size, variant, device) -> Pipeline:
+    return SoapsnpPipeline(params=params, window_size=window_size)
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def register_engine(spec: EngineSpec) -> None:
+    """Add (or replace) an engine in the registry."""
+    _REGISTRY[spec.name] = spec
+
+
+register_engine(EngineSpec(
+    name=Engine.GSNP.value,
+    summary="sparse base_word algorithm on the simulated GPU",
+    factory=_gsnp_factory,
+    label="GSNP",
+))
+register_engine(EngineSpec(
+    name=Engine.GSNP_CPU.value,
+    summary="sparse base_word algorithm on the host CPU",
+    factory=_gsnp_cpu_factory,
+    label="GSNP_CPU",
+))
+register_engine(EngineSpec(
+    name=Engine.SOAPSNP.value,
+    summary="dense base_occ baseline (SOAPsnp)",
+    factory=_soapsnp_factory,
+    max_window=DEFAULT_WINDOW_SOAPSNP,
+    label="SOAPsnp",
+))
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def resolve_engine(engine: Engine | str) -> Engine | str:
+    """Normalize an engine argument against the registry.
+
+    Accepts an :class:`Engine` member or its string value (the legacy
+    spelling); returns the :class:`Engine` member when one exists, else the
+    validated registered name.  Raises ``ValueError`` naming every
+    registered engine otherwise.
+    """
+    name = engine.value if isinstance(engine, Engine) else engine
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown engine {engine!r}: valid engines are "
+            + ", ".join(repr(n) for n in engine_names())
+        )
+    try:
+        return Engine(name)
+    except ValueError:
+        return name  # registered extension engine without an enum member
+
+
+def get_engine_spec(engine: Engine | str) -> EngineSpec:
+    """The registry entry for an engine (after name resolution)."""
+    return _REGISTRY[str(resolve_engine(engine))]
+
+
+def effective_window(engine: Engine | str, window_size: int) -> int:
+    """The window size the engine will actually run (registry cap applied)."""
+    spec = get_engine_spec(engine)
+    if spec.max_window is not None:
+        return min(window_size, spec.max_window)
+    return window_size
+
+
+def create_pipeline(
+    engine: Engine | str = Engine.GSNP,
+    *,
+    params=None,
+    window_size: int = DEFAULT_WINDOW_GSNP,
+    variant: LikelihoodVariant = OPTIMIZED,
+    device=None,
+) -> Pipeline:
+    """Build the pipeline for an engine through the registry."""
+    spec = get_engine_spec(engine)
+    if spec.max_window is not None:
+        window_size = min(window_size, spec.max_window)
+    return spec.factory(params, window_size, variant, device)
+
+
+__all__ = [
+    "Engine",
+    "EngineSpec",
+    "Pipeline",
+    "create_pipeline",
+    "effective_window",
+    "engine_names",
+    "get_engine_spec",
+    "register_engine",
+    "resolve_engine",
+]

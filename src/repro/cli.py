@@ -20,19 +20,14 @@ import time
 import numpy as np
 
 from .align.records import AlignmentBatch
+from .api import engine_names
 from .compress.reader import CompressedResultReader
 from .core.detector import GsnpDetector
-from .core.pipeline import GsnpPipeline
 from .formats.cns import write_cns
-from .formats.fasta import read_fasta, write_fasta
-from .formats.prior import read_prior, write_prior
-from .formats.soap import read_soap, write_soap
-from .seqsim.datasets import (
-    DatasetSpec,
-    SimulatedDataset,
-    generate_dataset,
-)
-from .soapsnp.pipeline import SoapsnpPipeline
+from .formats.fasta import write_fasta
+from .formats.prior import write_prior
+from .formats.soap import write_soap
+from .seqsim.datasets import DatasetSpec, generate_dataset
 from .soapsnp.posterior import is_snp_call
 
 
@@ -85,10 +80,16 @@ def main_call(argv=None) -> int:
     p.add_argument("fasta")
     p.add_argument("soap")
     p.add_argument("--prior", default=None)
-    p.add_argument(
-        "--engine", choices=("gsnp", "gsnp_cpu", "soapsnp"), default="gsnp"
-    )
+    p.add_argument("--engine", choices=engine_names(), default="gsnp")
     p.add_argument("--window", type=int, default=256_000)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 runs the sharded parallel executor",
+    )
+    p.add_argument(
+        "--shard-size", type=int, default=None,
+        help="sites per shard (snapped up to a window multiple)",
+    )
     p.add_argument("-o", "--output", default=None)
     p.add_argument(
         "--compressed",
@@ -98,59 +99,18 @@ def main_call(argv=None) -> int:
     p.add_argument("--min-quality", type=int, default=13)
     args = p.parse_args(argv)
 
-    reference = read_fasta(args.fasta)[0]
-    batch = read_soap(args.soap)
-    if args.prior:
-        prior = read_prior(args.prior, chrom=reference.name)
-    else:
-        from .seqsim.datasets import KnownSnpPrior
-
-        prior = KnownSnpPrior(
-            positions=np.empty(0, dtype=np.int64),
-            rates=np.empty(0, dtype=np.float64),
-        )
-
-    # Wrap the parsed files in the dataset container the pipelines consume.
-    from .seqsim.diploid import Diploid
-    from .seqsim.reads import ReadSet
-
-    rs = ReadSet(
-        chrom=reference.name,
-        read_len=batch.read_len,
-        pos=batch.pos,
-        strand=batch.strand,
-        hits=batch.hits,
-        bases=batch.bases,
-        quals=batch.quals,
+    det = GsnpDetector.from_files(
+        args.fasta,
+        args.soap,
+        args.prior,
+        engine=args.engine,
+        window_size=args.window,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        min_quality=args.min_quality,
     )
-    ds = SimulatedDataset(
-        spec=DatasetSpec(
-            name=reference.name,
-            n_sites=reference.length,
-            depth=0.0,
-            coverage=1.0,
-            read_len=batch.read_len,
-        ),
-        reference=reference,
-        diploid=Diploid(
-            reference=reference,
-            hap1=reference.codes,
-            hap2=reference.codes,
-            snp_positions=np.empty(0, dtype=np.int64),
-            snp_genotypes=np.empty((0, 2), dtype=np.uint8),
-        ),
-        reads=rs,
-        prior=prior,
-    )
-
     t0 = time.perf_counter()
-    if args.engine == "soapsnp":
-        result = SoapsnpPipeline(window_size=min(args.window, 4000)).run(ds)
-    else:
-        result = GsnpPipeline(
-            window_size=args.window,
-            mode="gpu" if args.engine == "gsnp" else "cpu",
-        ).run(ds)
+    result = det.run()
     dt = time.perf_counter() - t0
 
     table = result.table
@@ -222,7 +182,31 @@ def main_bench(argv=None) -> int:
         "--only", default=None,
         help="comma-separated experiment ids (e.g. table1,fig5)",
     )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the parallel-scaling benchmark on a tiny dataset and "
+        "exit non-zero if any worker count breaks serial parity",
+    )
     args = p.parse_args(argv)
+
+    if args.smoke:
+        from .bench.harness import exp_parallel_scaling
+
+        rows = exp_parallel_scaling(
+            "ch21-sim", fraction=0.1, workers=(1, 2, 4)
+        )
+        ok = True
+        for w, row in rows.items():
+            ok = ok and row["consistent"]
+            print(
+                f"workers={w}: wall={row['wall']:.3f}s "
+                f"speedup={row['speedup']:.2f}x shards={row['shards']} "
+                f"pool={row['pool']} "
+                f"consistent={'yes' if row['consistent'] else 'NO'}"
+            )
+        print("parity:", "OK" if ok else "FAILED")
+        return 0 if ok else 1
 
     from .bench.export import export_all
 

@@ -1,9 +1,10 @@
 """High-level public API: one call from aligned reads to SNP calls.
 
 :class:`GsnpDetector` is the facade downstream users program against; the
-examples and CLI are built on it.  It wires the GSNP pipeline (or the
-SOAPsnp baseline for cross-checking) and exposes the calls, the compressed
-output, and truth-scoring helpers for simulated data.
+examples and CLI are built on it.  It wires any registered engine
+(:mod:`repro.api`) — serially, or through the sharded parallel executor
+(:mod:`repro.exec`) when ``workers``/``shard_size`` are set — and exposes
+the calls, the compressed output, and truth-scoring helpers.
 """
 
 from __future__ import annotations
@@ -13,14 +14,74 @@ from typing import Optional
 
 import numpy as np
 
+from ..api import Engine, create_pipeline, resolve_engine
 from ..constants import DEFAULT_WINDOW_GSNP
 from ..formats.cns import ResultTable
-from ..seqsim.datasets import SimulatedDataset
+from ..seqsim.datasets import DatasetSpec, KnownSnpPrior, SimulatedDataset
 from ..soapsnp.model import CallingParams
-from ..soapsnp.pipeline import SoapsnpPipeline
 from ..soapsnp.posterior import is_snp_call
 from .likelihood import OPTIMIZED, LikelihoodVariant
-from .pipeline import GsnpPipeline, GsnpResult
+
+
+def dataset_from_alignments(
+    reference,
+    batch,
+    prior: Optional[KnownSnpPrior] = None,
+) -> SimulatedDataset:
+    """Wrap a parsed reference + alignment batch in the dataset container
+    the pipelines consume (no planted truth: haplotypes = reference)."""
+    from ..seqsim.diploid import Diploid
+    from ..seqsim.reads import ReadSet
+
+    if prior is None:
+        prior = KnownSnpPrior(
+            positions=np.empty(0, dtype=np.int64),
+            rates=np.empty(0, dtype=np.float64),
+        )
+    rs = ReadSet(
+        chrom=reference.name,
+        read_len=batch.read_len,
+        pos=batch.pos,
+        strand=batch.strand,
+        hits=batch.hits,
+        bases=batch.bases,
+        quals=batch.quals,
+    )
+    return SimulatedDataset(
+        spec=DatasetSpec(
+            name=reference.name,
+            n_sites=reference.length,
+            depth=0.0,
+            coverage=1.0,
+            read_len=batch.read_len,
+        ),
+        reference=reference,
+        diploid=Diploid(
+            reference=reference,
+            hap1=reference.codes,
+            hap2=reference.codes,
+            snp_positions=np.empty(0, dtype=np.int64),
+            snp_genotypes=np.empty((0, 2), dtype=np.uint8),
+        ),
+        reads=rs,
+        prior=prior,
+    )
+
+
+def dataset_from_files(
+    fasta_path, soap_path, prior_path=None
+) -> SimulatedDataset:
+    """Parse (fasta, soap[, prior]) input files into a dataset."""
+    from ..formats.fasta import read_fasta
+    from ..formats.prior import read_prior
+    from ..formats.soap import read_soap
+
+    reference = read_fasta(fasta_path)[0]
+    batch = read_soap(soap_path)
+    prior = (
+        read_prior(prior_path, chrom=reference.name) if prior_path else None
+    )
+    return dataset_from_alignments(reference, batch, prior)
 
 
 @dataclass
@@ -55,45 +116,80 @@ class Accuracy:
 
 
 class GsnpDetector:
-    """Facade over the GSNP pipeline.
+    """Facade over the registered SNP-calling engines.
 
     Parameters
     ----------
     engine:
+        An :class:`~repro.api.Engine` member or its string name —
         ``"gsnp"`` (simulated GPU, default), ``"gsnp_cpu"`` (sparse CPU),
-        or ``"soapsnp"`` (dense baseline) — all three produce identical
+        or ``"soapsnp"`` (dense baseline).  All engines produce identical
         calls.
+    workers, shard_size:
+        When ``workers > 1`` or a ``shard_size`` is set, runs through the
+        sharded parallel executor (:func:`repro.exec.execute`) — output is
+        bitwise identical to the serial path.
     """
 
     def __init__(
         self,
-        engine: str = "gsnp",
+        engine: Engine | str = Engine.GSNP,
         params: Optional[CallingParams] = None,
         window_size: int = DEFAULT_WINDOW_GSNP,
         variant: LikelihoodVariant = OPTIMIZED,
         min_quality: int = 0,
+        workers: int = 1,
+        shard_size: Optional[int] = None,
     ) -> None:
-        if engine not in ("gsnp", "gsnp_cpu", "soapsnp"):
-            raise ValueError(f"unknown engine {engine!r}")
-        self.engine = engine
+        self.engine = resolve_engine(engine)
         self.params = params
         self.window_size = window_size
         self.variant = variant
         self.min_quality = min_quality
+        self.workers = workers
+        self.shard_size = shard_size
+        self.dataset: Optional[SimulatedDataset] = None
         self.last_result = None
 
-    def run(self, dataset: SimulatedDataset, output_path=None):
-        """Run the chosen engine over a dataset."""
-        if self.engine == "soapsnp":
-            pipe = SoapsnpPipeline(
-                params=self.params, window_size=min(self.window_size, 4000)
+    @classmethod
+    def from_files(
+        cls, fasta_path, soap_path, prior_path=None, **kwargs
+    ) -> "GsnpDetector":
+        """Build a detector bound to parsed (fasta, soap[, prior]) files;
+        its :meth:`run` then needs no dataset argument."""
+        det = cls(**kwargs)
+        det.dataset = dataset_from_files(fasta_path, soap_path, prior_path)
+        return det
+
+    def run(
+        self, dataset: Optional[SimulatedDataset] = None, output_path=None
+    ):
+        """Run the chosen engine (serial or sharded-parallel)."""
+        if dataset is None:
+            dataset = self.dataset
+        if dataset is None:
+            raise ValueError(
+                "no dataset: pass one to run() or build the detector "
+                "with from_files()"
             )
-            result = pipe.run(dataset, output_path=output_path)
-        else:
-            pipe = GsnpPipeline(
+        if self.workers > 1 or self.shard_size is not None:
+            from ..exec import execute
+
+            result = execute(
+                dataset,
+                self.engine,
                 params=self.params,
                 window_size=self.window_size,
-                mode="gpu" if self.engine == "gsnp" else "cpu",
+                variant=self.variant,
+                output_path=output_path,
+                workers=self.workers,
+                shard_size=self.shard_size,
+            )
+        else:
+            pipe = create_pipeline(
+                self.engine,
+                params=self.params,
+                window_size=self.window_size,
                 variant=self.variant,
             )
             result = pipe.run(dataset, output_path=output_path)
@@ -150,7 +246,7 @@ class GsnpDetector:
 
 def detect_snps(
     dataset: SimulatedDataset,
-    engine: str = "gsnp",
+    engine: Engine | str = Engine.GSNP,
     min_quality: int = 0,
     **kwargs,
 ) -> tuple[ResultTable, list[SnpCall]]:

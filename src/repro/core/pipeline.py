@@ -73,6 +73,46 @@ class GsnpResult:
     extras: dict = field(default_factory=dict)
 
 
+@dataclass
+class GsnpCalibration:
+    """Product of the one-time ``cal_p_matrix`` input pass.
+
+    Sharded execution (:mod:`repro.exec`) computes this once in the parent
+    and shares it with every shard, so calibration work — and its event
+    record — is charged exactly once, as in a serial run.
+    """
+
+    params: CallingParams
+    pm_flat: np.ndarray
+    penalty: np.ndarray
+    #: Expanded host tables for ``mode='cpu'`` (None in GPU mode).
+    new_p_flat: Optional[np.ndarray]
+    #: Compressed temporary copy of the input (Section V-A).
+    temp_blob: bytes
+    #: Length of ``temp_blob`` — kept separately so :meth:`strip` can drop
+    #: the blob before pickling to workers without losing the size that
+    #: the per-window ``read_site`` accounting needs.
+    temp_len: int
+    input_bytes: int
+    total_reads: int
+    #: The ``cal_p_matrix`` phase events (wall, disk, cpu, table upload).
+    record: PhaseRecord
+
+    def strip(self) -> "GsnpCalibration":
+        """Copy without the temp blob (cheap to ship to worker processes)."""
+        return GsnpCalibration(
+            params=self.params,
+            pm_flat=self.pm_flat,
+            penalty=self.penalty,
+            new_p_flat=self.new_p_flat,
+            temp_blob=b"",
+            temp_len=self.temp_len,
+            input_bytes=self.input_bytes,
+            total_reads=self.total_reads,
+            record=self.record,
+        )
+
+
 class _PhaseScope:
     """Capture wall time + device counter/transfer deltas for one phase."""
 
@@ -131,29 +171,31 @@ class GsnpPipeline:
         self.variant = variant
         self.device = device
 
-    def run(
-        self, dataset: SimulatedDataset, output_path=None
-    ) -> GsnpResult:
-        """Call SNPs; optionally write the compressed result file."""
-        reads = AlignmentBatch.from_read_set(dataset.reads)
-        params = self.params or CallingParams(read_len=reads.read_len or 100)
-        profile = RunProfile(
-            pipeline="gsnp" if self.mode == "gpu" else "gsnp_cpu"
-        )
-        device = self.device
-        if self.mode == "gpu" and device is None:
-            device = Device()
-        input_bytes = reads.n_reads * soap_line_bytes(reads.read_len)
+    def calibrate(
+        self, dataset: SimulatedDataset, reads: Optional[AlignmentBatch] = None
+    ) -> GsnpCalibration:
+        """The ``cal_p_matrix`` pass: read the whole input once, build the
+        score tables and the compressed temporary input copy.
 
-        # ---- cal_p_matrix + compressed temp input + load_table -------------
-        rec = profile.phase("cal_p_matrix")
-        with _PhaseScope(rec, device):
+        Charges the pass's events (including the device table upload in GPU
+        mode) to the returned :attr:`GsnpCalibration.record`, so a sharded
+        run that shares one calibration reports the same counters as a
+        serial run that calibrates inline.
+        """
+        if reads is None:
+            reads = AlignmentBatch.from_read_set(dataset.reads)
+        params = self.params or CallingParams(read_len=reads.read_len or 100)
+        input_bytes = reads.n_reads * soap_line_bytes(reads.read_len)
+        rec = PhaseRecord(name="cal_p_matrix")
+        scratch = Device() if self.mode == "gpu" else None
+        with _PhaseScope(rec, scratch):
             p_matrix = build_p_matrix(reads, dataset.reference, params)
             pm_flat = flatten_p_matrix(p_matrix)
             penalty = params.penalty_table()
             temp_blob = encode_alignments(reads)
             if self.mode == "gpu":
-                tables = GsnpTables.load(device, pm_flat, penalty)
+                GsnpTables.load(scratch, pm_flat, penalty)
+                newp_flat = None
             else:
                 newp_flat = build_new_p_matrix(
                     pm_flat.reshape(64, 256, 4, 4)
@@ -165,21 +207,77 @@ class GsnpPipeline:
         # Score-table generation + upload is dataset-size independent; the
         # paper measures ~2s for new_p_matrix + log_table (Section VI-E).
         rec.fixed_seconds += 2.0
+        return GsnpCalibration(
+            params=params,
+            pm_flat=pm_flat,
+            penalty=penalty,
+            new_p_flat=newp_flat,
+            temp_blob=temp_blob,
+            temp_len=len(temp_blob),
+            input_bytes=input_bytes,
+            total_reads=reads.n_reads,
+            record=rec,
+        )
 
-        reader = WindowReader(reads, dataset.n_sites, self.window_size)
+    def run(
+        self,
+        dataset: SimulatedDataset,
+        output_path=None,
+        *,
+        site_range: Optional[tuple[int, int]] = None,
+        calibration: Optional[GsnpCalibration] = None,
+        reads: Optional[AlignmentBatch] = None,
+    ) -> GsnpResult:
+        """Call SNPs; optionally write the compressed result file.
+
+        ``site_range`` restricts the run to the windows covering
+        ``[start, stop)`` (shard execution); ``calibration`` supplies a
+        shared precomputed ``cal_p_matrix`` product, in which case the
+        calibration phase is neither re-run nor re-charged here; ``reads``
+        overrides the alignment batch (e.g. a streamed shard batch holding
+        only the reads overlapping ``site_range``).
+        """
+        if reads is None:
+            reads = AlignmentBatch.from_read_set(dataset.reads)
+        profile = RunProfile(
+            pipeline="gsnp" if self.mode == "gpu" else "gsnp_cpu"
+        )
+        device = self.device
+        if self.mode == "gpu" and device is None:
+            device = Device()
+
+        own_calibration = calibration is None
+        if own_calibration:
+            calibration = self.calibrate(dataset, reads=reads)
+            profile.records["cal_p_matrix"] = calibration.record
+        params = calibration.params
+        pm_flat = calibration.pm_flat
+        penalty = calibration.penalty
+        newp_flat = calibration.new_p_flat
+        temp_len = calibration.temp_len
+        total_reads = calibration.total_reads
+        if self.mode == "gpu":
+            # Shared-calibration runs load outside any phase scope: the one
+            # serial-equivalent upload is already charged to the record.
+            tables = GsnpTables.load(device, pm_flat, penalty)
+
+        start, stop = site_range if site_range is not None else (0, dataset.n_sites)
+        reader = WindowReader(
+            reads, dataset.n_sites, self.window_size, start=start, stop=stop
+        )
         tables_out: list[ResultTable] = []
         sort_stats = []
         blobs: list[bytes] = []
         out_f = open(output_path, "wb") if output_path is not None else None
         try:
             for window in reader:
-                frac = window.reads.n_reads / max(reads.n_reads, 1)
+                frac = window.reads.n_reads / max(total_reads, 1)
 
                 # ---- read_site: decompress the temp input ------------------
                 rec = profile.phase("read_site")
                 with _PhaseScope(rec, device):
                     win_reads = window.reads
-                rec.disk.read_buffered_bytes += int(len(temp_blob) * frac)
+                rec.disk.read_buffered_bytes += int(temp_len * frac)
                 rec.cpu.instructions += win_reads.n_reads * 8
 
                 # ---- counting: per-site base_word segments -----------------
@@ -291,10 +389,10 @@ class GsnpPipeline:
             profile=profile,
             compressed_output=compressed,
             output_bytes=len(compressed),
-            temp_input_bytes=len(temp_blob),
+            temp_input_bytes=temp_len,
             sort_stats=sort_stats,
             extras={
-                "input_bytes": input_bytes,
+                "input_bytes": calibration.input_bytes,
                 "device": device,
                 "peak_gpu_bytes": device.peak_global_used if device else 0,
             },

@@ -29,3 +29,20 @@ class CodecError(GsnpError):
 
 class PipelineError(GsnpError):
     """Raised when pipeline components are used out of order."""
+
+
+class ShardError(GsnpError):
+    """Raised when a shard keeps failing after its retry budget.
+
+    Carries the shard context so operators can pinpoint the genomic range
+    that poisoned the run.
+    """
+
+    def __init__(
+        self, message: str, *, shard_index: int = -1,
+        site_range: tuple[int, int] = (0, 0), attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.site_range = site_range
+        self.attempts = attempts

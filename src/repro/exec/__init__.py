@@ -1,0 +1,28 @@
+"""Sharded parallel execution of SNP-calling pipelines.
+
+Splits a calling job into window-aligned shards, dispatches them to a
+worker pool (multiprocessing, or a serial fallback sharing the same
+interface), and reassembles calls, compressed output and event counters
+into a result bitwise identical to the serial run.  Entry point:
+:func:`execute`.
+"""
+
+from .executor import ExecConfig, execute
+from .merge import merge_profiles, merge_shard_results
+from .pool import PoolBroken, ProcessPool, SerialPool, make_pool
+from .shard import Shard, ShardResult, align_shard_size, plan_shards
+
+__all__ = [
+    "ExecConfig",
+    "PoolBroken",
+    "ProcessPool",
+    "SerialPool",
+    "Shard",
+    "ShardResult",
+    "align_shard_size",
+    "execute",
+    "make_pool",
+    "merge_profiles",
+    "merge_shard_results",
+    "plan_shards",
+]

@@ -1,0 +1,283 @@
+"""Sharded execution: dispatch window-aligned shards to a worker pool.
+
+The execution model mirrors SNAP/SOAP3-dp-style genome sharding: the
+parent runs the one-time ``cal_p_matrix`` pass, splits the site range into
+window-aligned shards (:mod:`repro.exec.shard`), and dispatches them to a
+pool (:mod:`repro.exec.pool`) — ``multiprocessing`` workers, or the serial
+fallback with the identical interface.  Shard inputs either reference the
+dataset shipped once per worker, or stream incrementally from a SOAP file
+(:class:`~repro.formats.stream.ShardBatchReader`) through the bounded
+submission queue, so at most ``workers * backlog`` shard batches are ever
+resident.  Completed shards merge back in genomic order
+(:mod:`repro.exec.merge`); a failing shard is retried up to
+``max_retries`` times and then surfaced as
+:class:`~repro.errors.ShardError` with its genomic range.
+
+Determinism: shard boundaries are window boundaries and the merge is
+order-restoring, so calls, event counters and compressed bytes are bitwise
+identical to a serial run for all three engines, at any worker count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..api import Engine, create_pipeline, resolve_engine
+from ..constants import DEFAULT_WINDOW_GSNP
+from ..core.likelihood import OPTIMIZED, LikelihoodVariant
+from ..errors import PipelineError, ShardError
+from ..formats.stream import ShardBatchReader
+from ..align.records import AlignmentBatch
+from ..seqsim.reads import ReadSet
+from .merge import merge_shard_results
+from .pool import PoolBroken, make_pool
+from .shard import ShardResult, plan_shards
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Knobs of the sharded executor."""
+
+    workers: int = 1
+    #: Sites per shard; ``None`` = ~4 shards per worker.  Snapped up to a
+    #: multiple of the window size (determinism requires aligned shards).
+    shard_size: Optional[int] = None
+    #: Times a failed shard is re-executed before the run is aborted.
+    max_retries: int = 2
+    #: In-flight shards per worker (the bounded queue's depth factor).
+    backlog: int = 2
+    #: Use the serial fallback executor even for ``workers > 1``.
+    force_serial: bool = False
+    #: Test/chaos hook: shard index -> number of times it must fail.
+    inject_failures: Mapping[int, int] = field(default_factory=dict)
+
+
+# Worker-side state, installed once per worker process by the pool
+# initializer (or once in-process by the serial fallback).
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(state: dict) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _run_shard(task) -> ShardResult:
+    """Execute one shard in the worker; the unit the pool retries."""
+    shard, batch, attempt = task
+    st = _WORKER_STATE
+    must_fail = st["inject"].get(shard.index, 0)
+    if attempt < must_fail:
+        raise PipelineError(
+            f"injected failure for {shard} (attempt {attempt + 1})"
+        )
+    pipeline = create_pipeline(
+        st["engine"],
+        params=st["params"],
+        window_size=st["window_size"],
+        variant=st["variant"],
+    )
+    t0 = time.perf_counter()
+    result = pipeline.run(
+        st["dataset"],
+        site_range=(shard.start, shard.end),
+        calibration=st["calibration"],
+        reads=batch,
+    )
+    wall = time.perf_counter() - t0
+    return ShardResult(
+        shard=shard,
+        table=result.table,
+        profile=result.profile,
+        compressed=getattr(result, "compressed_output", b""),
+        output_bytes=result.output_bytes,
+        sort_stats=getattr(result, "sort_stats", []),
+        nnz=getattr(result, "nnz", None),
+        peak_gpu_bytes=result.extras.get("peak_gpu_bytes", 0),
+        wall=wall,
+        attempts=attempt + 1,
+        pid=os.getpid(),
+    )
+
+
+def _drain(pool, tasks, max_retries: int, backlog: int):
+    """Pump tasks through the pool with a bounded in-flight window.
+
+    ``tasks`` yields ``(shard, batch_or_None)`` lazily — with a streaming
+    source this bounds resident shard batches to ``workers * backlog``.
+    Yields :class:`ShardResult` in completion order; re-dispatches failed
+    shards (counting attempts) and raises :class:`ShardError` once a
+    shard exhausts its budget.
+    """
+    limit = max(1, pool.workers * backlog)
+    task_iter = iter(tasks)
+    exhausted = False
+    retry_q: deque = deque()
+    in_flight: dict = {}
+    retries_used = 0
+
+    while True:
+        while len(in_flight) < limit:
+            if retry_q:
+                shard, batch, attempt = retry_q.popleft()
+            elif not exhausted:
+                try:
+                    shard, batch = next(task_iter)
+                    attempt = 0
+                except StopIteration:
+                    exhausted = True
+                    continue
+            else:
+                break
+            handle = pool.submit(_run_shard, (shard, batch, attempt))
+            in_flight[handle] = (shard, batch, attempt)
+        if not in_flight:
+            if exhausted and not retry_q:
+                return retries_used
+            continue
+
+        for handle in pool.wait_any(list(in_flight)):
+            shard, batch, attempt = in_flight.pop(handle)
+            try:
+                kind, value = handle.outcome()
+            except PoolBroken:
+                # The worker died outright; rebuild and re-dispatch.
+                pool.restart()
+                kind, value = "err", PipelineError(
+                    f"worker process died while executing {shard}"
+                )
+            if kind == "ok":
+                yield value
+                continue
+            if attempt >= max_retries:
+                raise ShardError(
+                    f"{shard} failed after {attempt + 1} attempts: "
+                    f"{value!r}",
+                    shard_index=shard.index,
+                    site_range=(shard.start, shard.end),
+                    attempts=attempt + 1,
+                ) from value
+            retries_used += 1
+            retry_q.append((shard, batch, attempt + 1))
+
+
+def _dataset_without_reads(dataset):
+    """The dataset container minus its read set (streaming-shard mode):
+    workers receive reference/prior once and shard batches incrementally."""
+    rs = dataset.reads
+    empty = ReadSet(
+        chrom=rs.chrom,
+        read_len=rs.read_len,
+        pos=np.empty(0, dtype=np.int64),
+        strand=np.empty(0, dtype=np.uint8),
+        hits=np.empty(0, dtype=np.uint8),
+        bases=np.empty((0, rs.read_len), dtype=np.uint8),
+        quals=np.empty((0, rs.read_len), dtype=np.uint8),
+    )
+    return replace(dataset, reads=empty)
+
+
+def execute(
+    dataset,
+    engine: Engine | str = Engine.GSNP,
+    *,
+    params=None,
+    window_size: int = DEFAULT_WINDOW_GSNP,
+    variant: LikelihoodVariant = OPTIMIZED,
+    output_path=None,
+    soap_path=None,
+    config: Optional[ExecConfig] = None,
+    **config_kwargs,
+):
+    """Run a calling job as parallel window-aligned shards.
+
+    Returns the engine's own result type with tables, compressed output
+    and merged event counters bitwise/exactly equal to the serial path;
+    ``extras['shards']`` carries per-shard timing/throughput metrics and
+    ``extras['exec']`` the pool configuration.  ``soap_path`` switches the
+    shard inputs to incremental streaming from that SOAP file via
+    :class:`~repro.formats.stream.ShardBatchReader`.
+
+    ``config_kwargs`` (``workers=4``, ``shard_size=...``, ...) are a
+    shorthand for building :class:`ExecConfig`.
+    """
+    if config is None:
+        config = ExecConfig(**config_kwargs)
+    elif config_kwargs:
+        config = replace(config, **config_kwargs)
+    engine = resolve_engine(engine)
+
+    # The parent-side pipeline fixes the effective window (registry caps)
+    # and runs the one-time calibration pass.
+    pipeline = create_pipeline(
+        engine, params=params, window_size=window_size, variant=variant
+    )
+    eff_window = pipeline.window_size
+    reads = AlignmentBatch.from_read_set(dataset.reads)
+    calibration = pipeline.calibrate(dataset, reads=reads)
+    shards = plan_shards(
+        dataset.n_sites, eff_window, config.shard_size, config.workers
+    )
+
+    streaming = soap_path is not None
+    state = {
+        "engine": str(engine),
+        "params": params,
+        "window_size": eff_window,
+        "variant": variant,
+        "dataset": _dataset_without_reads(dataset) if streaming else dataset,
+        "calibration": calibration.strip(),
+        "inject": dict(config.inject_failures),
+    }
+    if streaming:
+        batches = ShardBatchReader(
+            soap_path,
+            [(s.start, s.end) for s in shards],
+            dataset.n_sites,
+            chrom=dataset.reference.name,
+        )
+        tasks = (
+            (shard, batch)
+            for shard, (_, _, batch) in zip(shards, batches)
+        )
+    else:
+        tasks = ((shard, None) for shard in shards)
+
+    t0 = time.perf_counter()
+    pool = make_pool(
+        config.workers,
+        initializer=_init_worker,
+        initargs=(state,),
+        force_serial=config.force_serial,
+    )
+    try:
+        results: list[ShardResult] = []
+        drain = _drain(pool, tasks, config.max_retries, config.backlog)
+        retries_used = 0
+        while True:
+            try:
+                results.append(next(drain))
+            except StopIteration as stop:
+                retries_used = stop.value or 0
+                break
+    finally:
+        pool.shutdown()
+
+    exec_meta = {
+        "workers": config.workers,
+        "pool": pool.kind,
+        "shard_size": shards[0].n_sites if shards else 0,
+        "n_shards": len(shards),
+        "streaming": streaming,
+        "retries": retries_used,
+        "wall": time.perf_counter() - t0,
+    }
+    return merge_shard_results(
+        results, calibration, output_path=output_path, exec_meta=exec_meta
+    )

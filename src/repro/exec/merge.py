@@ -1,0 +1,114 @@
+"""Reassemble per-shard results into one coherent serial-equivalent run.
+
+Shards complete in arbitrary order; this module restores genomic order,
+verifies the shards tile the site range with no gaps, concatenates the
+result tables and compressed blobs, and folds the per-shard event profiles
+plus the one shared calibration record into a single
+:class:`~repro.bench.events.RunProfile` — so the bench harness and the
+cost models see exactly the counters a serial run would have produced
+(invariant 1: bitwise consistency; invariant 6: window invariance).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bench.events import RunProfile
+from ..core.pipeline import GsnpResult
+from ..errors import PipelineError
+from ..formats.cns import format_rows
+from ..soapsnp.pipeline import SoapsnpResult
+from .shard import ShardResult
+
+
+def _ordered(results: list[ShardResult]) -> list[ShardResult]:
+    results = sorted(results, key=lambda r: r.shard.index)
+    for prev, cur in zip(results, results[1:]):
+        if cur.shard.start != prev.shard.end:
+            raise PipelineError(
+                f"shard results do not tile the site range: "
+                f"{prev.shard} then {cur.shard}"
+            )
+    return results
+
+
+def merge_profiles(
+    results: list[ShardResult], calibration_record=None
+) -> RunProfile:
+    """Sum per-shard phase events; charge calibration exactly once."""
+    profile = RunProfile(pipeline=results[0].profile.pipeline)
+    if calibration_record is not None:
+        rec = profile.phase("cal_p_matrix")
+        rec.merge(calibration_record)
+        rec.fixed_seconds = calibration_record.fixed_seconds
+    for sr in results:
+        profile.merge(sr.profile)
+    return profile
+
+
+def merge_shard_results(
+    results: list[ShardResult],
+    calibration,
+    output_path=None,
+    exec_meta: Optional[dict] = None,
+):
+    """Merge shard results into the engine's own result type.
+
+    Returns a :class:`~repro.core.pipeline.GsnpResult` or
+    :class:`~repro.soapsnp.pipeline.SoapsnpResult`, indistinguishable from
+    a serial run's except for wall-clock timings and the exec metadata in
+    ``extras``.  When ``output_path`` is given, writes the same bytes the
+    serial pipeline would have written (compressed blobs for the GSNP
+    engines, ``.cns`` text for SOAPsnp).
+    """
+    if not results:
+        raise PipelineError("no shard results to merge")
+    results = _ordered(results)
+
+    table = results[0].table
+    for sr in results[1:]:
+        table = table.concat(sr.table)
+    profile = merge_profiles(results, calibration.record)
+
+    extras = {
+        "input_bytes": calibration.input_bytes,
+        "shards": [sr.metrics() for sr in results],
+    }
+    if exec_meta:
+        extras["exec"] = dict(exec_meta)
+
+    family = results[0].profile.pipeline
+    if family in ("gsnp", "gsnp_cpu"):
+        compressed = b"".join(sr.compressed for sr in results)
+        if output_path is not None:
+            with open(output_path, "wb") as f:
+                f.write(compressed)
+        extras["device"] = None
+        extras["peak_gpu_bytes"] = max(
+            (sr.peak_gpu_bytes for sr in results), default=0
+        )
+        return GsnpResult(
+            table=table,
+            profile=profile,
+            compressed_output=compressed,
+            output_bytes=len(compressed),
+            temp_input_bytes=calibration.temp_len,
+            sort_stats=[s for sr in results for s in sr.sort_stats],
+            extras=extras,
+        )
+
+    if output_path is not None:
+        with open(output_path, "wb") as f:
+            for sr in results:
+                f.write(format_rows(sr.table))
+    nnz_parts = [sr.nnz for sr in results if sr.nnz is not None]
+    return SoapsnpResult(
+        table=table,
+        profile=profile,
+        nnz=np.concatenate(nnz_parts) if nnz_parts else None,
+        output_bytes=sum(sr.output_bytes for sr in results),
+        p_matrix=calibration.p_matrix,
+        extras=extras,
+    )

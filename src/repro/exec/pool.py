@@ -1,0 +1,137 @@
+"""Worker pools: multiprocessing and an in-process serial fallback.
+
+Both pools expose the same three-call interface — ``submit`` returning a
+handle, ``wait_any`` blocking until at least one handle finishes, and the
+handle's ``outcome()`` reporting ``("ok", value)`` or ``("err", exc)`` —
+so the executor's bounded-queue/retry loop is written once.  A worker
+process that dies outright (not just raises) surfaces as
+:class:`PoolBroken`; the executor restarts the pool and re-dispatches.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import multiprocessing
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Optional
+
+
+class PoolBroken(RuntimeError):
+    """A worker process terminated abruptly; the pool must be rebuilt."""
+
+
+class _SerialHandle:
+    """Handle of an eagerly-executed in-process task."""
+
+    def __init__(self, fn: Callable[[Any], Any], arg: Any) -> None:
+        try:
+            self._outcome = ("ok", fn(arg))
+        except Exception as exc:  # noqa: BLE001 — forwarded to retry logic
+            self._outcome = ("err", exc)
+
+    def outcome(self) -> tuple[str, Any]:
+        return self._outcome
+
+
+class SerialPool:
+    """In-process executor sharing :class:`ProcessPool`'s interface.
+
+    The fallback when ``workers <= 1`` or when the platform cannot fork:
+    the same worker function, initializer, bounded queue and retry logic
+    run in the parent process, one task at a time.
+    """
+
+    kind = "serial"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+    ) -> None:
+        self.workers = 1
+        if initializer is not None:
+            initializer(*initargs)
+
+    def submit(self, fn: Callable[[Any], Any], arg: Any) -> _SerialHandle:
+        return _SerialHandle(fn, arg)
+
+    def wait_any(self, handles: Iterable[_SerialHandle]) -> list[_SerialHandle]:
+        return list(handles)  # eager execution: everything is already done
+
+    def shutdown(self) -> None:
+        pass
+
+
+class _ProcessHandle:
+    def __init__(self, future: cf.Future) -> None:
+        self.future = future
+
+    def outcome(self) -> tuple[str, Any]:
+        try:
+            return ("ok", self.future.result())
+        except BrokenProcessPool as exc:
+            raise PoolBroken(str(exc)) from exc
+        except Exception as exc:  # noqa: BLE001 — forwarded to retry logic
+            return ("err", exc)
+
+
+class ProcessPool:
+    """Multiprocessing pool over ``concurrent.futures``."""
+
+    kind = "process"
+
+    def __init__(
+        self,
+        workers: int,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+    ) -> None:
+        self.workers = workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self._executor: Optional[cf.ProcessPoolExecutor] = None
+        self._start()
+
+    def _start(self) -> None:
+        self._executor = cf.ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(),
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+
+    def submit(self, fn: Callable[[Any], Any], arg: Any) -> _ProcessHandle:
+        return _ProcessHandle(self._executor.submit(fn, arg))
+
+    def wait_any(self, handles: Iterable[_ProcessHandle]) -> list[_ProcessHandle]:
+        handles = list(handles)
+        done, _ = cf.wait(
+            [h.future for h in handles], return_when=cf.FIRST_COMPLETED
+        )
+        return [h for h in handles if h.future in done]
+
+    def restart(self) -> None:
+        """Rebuild the pool after a worker crash (in-flight work is lost)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._start()
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+def make_pool(
+    workers: int,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+    force_serial: bool = False,
+):
+    """Build the right pool: multiprocessing, or the serial fallback."""
+    if force_serial or workers <= 1:
+        return SerialPool(initializer=initializer, initargs=initargs)
+    try:
+        return ProcessPool(workers, initializer=initializer, initargs=initargs)
+    except (OSError, ImportError, ValueError):
+        # Platforms without working multiprocessing primitives fall back
+        # to the serial executor; results are identical, just slower.
+        return SerialPool(initializer=initializer, initargs=initargs)

@@ -57,6 +57,76 @@ def _parse_line(raw: bytes, lineno: int, path) -> tuple:
     )
 
 
+class _SoapRecordStream:
+    """Incremental pull of parsed, validated records from a SOAP file.
+
+    Exploits the position-sorted order: :meth:`pull_past` parses just far
+    enough that everything overlapping a range boundary is resident, and
+    :meth:`take_overlapping` drops records entirely behind the range front.
+    Shared by the window-granularity :class:`StreamingSoapReader` and the
+    shard-granularity :class:`ShardBatchReader`.
+    """
+
+    def __init__(self, f, path, n_sites: int, chrom: str | None) -> None:
+        self._lines = enumerate(f, 1)
+        self.path = path
+        self.n_sites = n_sites
+        self.chrom = chrom or ""
+        self.read_len = 0
+        self.bytes_read = 0
+        self.pending: list[tuple] = []
+        self._last_pos = -1
+        self._exhausted = False
+
+    def pull_past(self, end: int) -> None:
+        """Parse lines until a read starts at/after ``end`` (kept pending);
+        sorted order guarantees nothing later overlaps ``[.., end)``."""
+        while not self._exhausted:
+            try:
+                lineno, raw = next(self._lines)
+            except StopIteration:
+                self._exhausted = True
+                return
+            self.bytes_read += len(raw)
+            raw = raw.rstrip(b"\n")
+            if not raw:
+                continue
+            if not self.chrom:
+                self.chrom = raw.split(b"\t")[6].decode()
+            rec = _parse_line(raw, lineno, self.path)
+            if rec[0] < self._last_pos:
+                raise FormatError(
+                    f"{self.path}:{lineno}: positions not sorted"
+                )
+            self._last_pos = rec[0]
+            if self.read_len == 0:
+                self.read_len = rec[3].size
+            elif rec[3].size != self.read_len:
+                raise FormatError(
+                    f"{self.path}:{lineno}: mixed read lengths"
+                )
+            if rec[0] + self.read_len > self.n_sites:
+                raise PipelineError(
+                    f"{self.path}:{lineno}: read extends past the "
+                    f"reference end"
+                )
+            self.pending.append(rec)
+            if rec[0] >= end:
+                return
+
+    def take_overlapping(self, start: int, end: int) -> list[tuple]:
+        """Records overlapping ``[start, end)``; drops those behind it.
+
+        Records spanning the range's end stay pending, so they are also
+        delivered to the next range — the boundary-read duplication both
+        the in-memory reader and the shard planner rely on.
+        """
+        self.pending = [
+            r for r in self.pending if r[0] + self.read_len > start
+        ]
+        return [r for r in self.pending if r[0] < end]
+
+
 class StreamingSoapReader:
     """Iterate fixed-size windows over a SOAP file without loading it.
 
@@ -93,62 +163,64 @@ class StreamingSoapReader:
         return -(-self.n_sites // self.window_size)
 
     def __iter__(self) -> Iterator[Window]:
-        pending: list[tuple] = []  # parsed reads not yet behind the front
-        read_len = 0
-        chrom = self.chrom or ""
-        last_pos = -1
-
         with open(self.path, "rb") as f:
-            line_iter = enumerate(f, 1)
-            exhausted = False
+            rs = _SoapRecordStream(f, self.path, self.n_sites, self.chrom)
             for w in range(self.n_windows):
                 start = w * self.window_size
                 end = min(start + self.window_size, self.n_sites)
-                # Pull lines until a read starts at/after this window's end
-                # (sorted order guarantees nothing later overlaps it).
-                while not exhausted:
-                    try:
-                        lineno, raw = next(line_iter)
-                    except StopIteration:
-                        exhausted = True
-                        break
-                    self.bytes_read += len(raw)
-                    raw = raw.rstrip(b"\n")
-                    if not raw:
-                        continue
-                    if not chrom:
-                        chrom = raw.split(b"\t")[6].decode()
-                    rec = _parse_line(raw, lineno, self.path)
-                    if rec[0] < last_pos:
-                        raise FormatError(
-                            f"{self.path}:{lineno}: positions not sorted"
-                        )
-                    last_pos = rec[0]
-                    if read_len == 0:
-                        read_len = rec[3].size
-                    elif rec[3].size != read_len:
-                        raise FormatError(
-                            f"{self.path}:{lineno}: mixed read lengths"
-                        )
-                    if rec[0] + read_len > self.n_sites:
-                        raise PipelineError(
-                            f"{self.path}:{lineno}: read extends past the "
-                            f"reference end"
-                        )
-                    pending.append(rec)
-                    if rec[0] >= end:
-                        break
-                # Drop reads entirely behind this window.
-                pending = [
-                    r for r in pending if r[0] + read_len > start
-                ]
-                overlap = [r for r in pending if r[0] < end]
+                rs.pull_past(end)
+                overlap = rs.take_overlapping(start, end)
+                self.bytes_read = rs.bytes_read
                 yield Window(
                     start=start,
                     end=end,
                     reads=_batch_from_records(
-                        overlap, chrom, read_len or self.window_size
+                        overlap, rs.chrom, rs.read_len or self.window_size
                     ),
+                )
+
+
+class ShardBatchReader:
+    """Stream per-range alignment batches from a position-sorted SOAP file.
+
+    Given contiguous, sorted ``(start, end)`` site ranges (shards), yields
+    ``(start, end, AlignmentBatch)`` with exactly the reads overlapping
+    each range — boundary-spanning reads are delivered to both ranges, the
+    same contract as window iteration.  Only the reads overlapping the
+    current range are ever resident, so the sharded executor can pump a
+    huge input file through its bounded queue with O(shard) memory.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        ranges,
+        n_sites: int,
+        chrom: str | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self.ranges = list(ranges)
+        self.n_sites = n_sites
+        self.chrom = chrom
+        self.bytes_read = 0
+        last = 0
+        for start, end in self.ranges:
+            if start != last or end <= start or end > n_sites:
+                raise PipelineError(
+                    f"shard ranges must tile [0, {n_sites}) contiguously; "
+                    f"got [{start}, {end}) after {last}"
+                )
+            last = end
+
+    def __iter__(self) -> Iterator[tuple[int, int, AlignmentBatch]]:
+        with open(self.path, "rb") as f:
+            rs = _SoapRecordStream(f, self.path, self.n_sites, self.chrom)
+            for start, end in self.ranges:
+                rs.pull_past(end)
+                overlap = rs.take_overlapping(start, end)
+                self.bytes_read = rs.bytes_read
+                yield start, end, _batch_from_records(
+                    overlap, rs.chrom, rs.read_len or 1
                 )
 
 

@@ -32,13 +32,23 @@ class Window:
 
 
 class WindowReader:
-    """Iterate fixed-size windows over a position-sorted alignment batch."""
+    """Iterate fixed-size windows over a position-sorted alignment batch.
+
+    ``start``/``stop`` restrict iteration to the windows covering
+    ``[start, stop)``; window boundaries stay anchored at ``start``, so a
+    shard whose ``start`` is a multiple of ``window_size`` reproduces
+    exactly the windows a full ``[0, n_sites)`` run would emit for that
+    range (the property :mod:`repro.exec` relies on for bitwise-identical
+    sharded output).
+    """
 
     def __init__(
         self,
         alignments: AlignmentBatch,
         n_sites: int,
         window_size: int,
+        start: int = 0,
+        stop: int | None = None,
     ) -> None:
         if window_size <= 0:
             raise PipelineError("window size must be positive")
@@ -46,20 +56,27 @@ class WindowReader:
             alignments.pos[-1] + alignments.read_len > n_sites
         ):
             raise PipelineError("alignments extend past the reference end")
+        stop = n_sites if stop is None else min(stop, n_sites)
+        if not 0 <= start < stop:
+            raise PipelineError(
+                f"empty or invalid site range [{start}, {stop})"
+            )
         self.alignments = alignments
         self.n_sites = n_sites
         self.window_size = window_size
+        self.start = start
+        self.stop = stop
 
     @property
     def n_windows(self) -> int:
-        return -(-self.n_sites // self.window_size)
+        return -(-(self.stop - self.start) // self.window_size)
 
     def __iter__(self) -> Iterator[Window]:
         aln = self.alignments
         read_len = aln.read_len
         for w in range(self.n_windows):
-            start = w * self.window_size
-            end = min(start + self.window_size, self.n_sites)
+            start = self.start + w * self.window_size
+            end = min(start + self.window_size, self.stop)
             # Reads overlapping [start, end): pos in (start-read_len, end).
             lo = int(np.searchsorted(aln.pos, start - read_len + 1, "left"))
             hi = int(np.searchsorted(aln.pos, end, "left"))

@@ -19,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..align.records import AlignmentBatch
-from ..bench.events import RunProfile
+from ..bench.events import PhaseRecord, RunProfile
 from ..constants import BASE_OCC_SIZE, DEFAULT_WINDOW_SOAPSNP, N_GENOTYPES
 from ..formats.cns import ResultTable, format_rows
 from ..formats.soap import soap_line_bytes
@@ -47,6 +47,23 @@ class SoapsnpResult:
     extras: dict = field(default_factory=dict)
 
 
+@dataclass
+class SoapsnpCalibration:
+    """Product of SOAPsnp's ``cal_p_matrix`` pass, shareable across shards."""
+
+    params: CallingParams
+    p_matrix: np.ndarray
+    pm_flat: np.ndarray
+    penalty: np.ndarray
+    input_bytes: int
+    total_reads: int
+    record: PhaseRecord
+
+    def strip(self) -> "SoapsnpCalibration":
+        """Interface parity with the GSNP calibration (nothing to drop)."""
+        return self
+
+
 class SoapsnpPipeline:
     """Single-threaded dense-representation baseline caller."""
 
@@ -60,29 +77,63 @@ class SoapsnpPipeline:
         self.window_size = window_size
         self.collect_nnz = collect_nnz
 
-    def run(
-        self,
-        dataset: SimulatedDataset,
-        output_path=None,
-    ) -> SoapsnpResult:
-        """Call SNPs over a dataset; optionally write the .cns text file."""
-        reads = AlignmentBatch.from_read_set(dataset.reads)
+    def calibrate(
+        self, dataset: SimulatedDataset, reads: Optional[AlignmentBatch] = None
+    ) -> SoapsnpCalibration:
+        """The ``cal_p_matrix`` pass: one full read of the input."""
+        if reads is None:
+            reads = AlignmentBatch.from_read_set(dataset.reads)
         params = self.params or CallingParams(read_len=reads.read_len or 100)
-        profile = RunProfile(pipeline="soapsnp")
         input_bytes = reads.n_reads * soap_line_bytes(reads.read_len)
-
-        # ---- cal_p_matrix: first full pass over the input ------------------
+        rec = PhaseRecord(name="cal_p_matrix")
         t0 = time.perf_counter()
         p_matrix = build_p_matrix(reads, dataset.reference, params)
         pm_flat = flatten_p_matrix(p_matrix)
         penalty = params.penalty_table()
-        rec = profile.phase("cal_p_matrix")
         rec.wall += time.perf_counter() - t0
         rec.disk.read_bytes += input_bytes
         rec.disk.parsed_bytes += input_bytes
         rec.cpu.instructions += reads.n_reads * reads.read_len * 4
+        return SoapsnpCalibration(
+            params=params,
+            p_matrix=p_matrix,
+            pm_flat=pm_flat,
+            penalty=penalty,
+            input_bytes=input_bytes,
+            total_reads=reads.n_reads,
+            record=rec,
+        )
 
-        reader = WindowReader(reads, dataset.n_sites, self.window_size)
+    def run(
+        self,
+        dataset: SimulatedDataset,
+        output_path=None,
+        *,
+        site_range: Optional[tuple[int, int]] = None,
+        calibration: Optional[SoapsnpCalibration] = None,
+        reads: Optional[AlignmentBatch] = None,
+    ) -> SoapsnpResult:
+        """Call SNPs over a dataset; optionally write the .cns text file.
+
+        ``site_range``/``calibration``/``reads`` have the same contract as
+        :meth:`repro.core.pipeline.GsnpPipeline.run` — they let the sharded
+        executor run one shard of whole windows with a shared calibration.
+        """
+        if reads is None:
+            reads = AlignmentBatch.from_read_set(dataset.reads)
+        profile = RunProfile(pipeline="soapsnp")
+
+        if calibration is None:
+            calibration = self.calibrate(dataset, reads=reads)
+            profile.records["cal_p_matrix"] = calibration.record
+        params = calibration.params
+        pm_flat = calibration.pm_flat
+        penalty = calibration.penalty
+
+        start, stop = site_range if site_range is not None else (0, dataset.n_sites)
+        reader = WindowReader(
+            reads, dataset.n_sites, self.window_size, start=start, stop=stop
+        )
         tables: list[ResultTable] = []
         nnz_parts: list[np.ndarray] = [] if self.collect_nnz else None
         output_bytes = 0
@@ -167,6 +218,6 @@ class SoapsnpPipeline:
             profile=profile,
             nnz=np.concatenate(nnz_parts) if self.collect_nnz else None,
             output_bytes=output_bytes,
-            p_matrix=p_matrix,
-            extras={"input_bytes": input_bytes},
+            p_matrix=calibration.p_matrix,
+            extras={"input_bytes": calibration.input_bytes},
         )

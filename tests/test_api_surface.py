@@ -11,9 +11,11 @@ import repro
 PACKAGES = [
     "repro",
     "repro.align",
+    "repro.api",
     "repro.bench",
     "repro.compress",
     "repro.core",
+    "repro.exec",
     "repro.formats",
     "repro.gpusim",
     "repro.gpusim.primitives",
