@@ -1,0 +1,27 @@
+"""Static and runtime analysis enforcing the simulator's SIMT discipline.
+
+Two complementary tools guard the property every paper-level claim rests
+on — that *all* simulated kernel memory traffic is routed through
+:class:`~repro.gpusim.kernel.KernelContext` and follows the lockstep idiom:
+
+* :mod:`repro.analyze.lint` — the ``gsnp-lint`` static AST checker that
+  discovers kernel bodies and flags SIMT-discipline violations with
+  ``file:line`` diagnostics.
+* :mod:`repro.analyze.sanitize` — the runtime sanitizer behind
+  ``Device(sanitize=True)`` (compute-sanitizer/racecheck-style): data
+  races, read-after-write hazards, store/atomic mixing, uninitialized
+  reads, and device-teardown leak checks.
+"""
+
+from .lint import Diagnostic, RULES, lint_file, lint_paths, lint_source
+from .sanitize import Sanitizer, SanitizerIssue
+
+__all__ = [
+    "Diagnostic",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "Sanitizer",
+    "SanitizerIssue",
+]

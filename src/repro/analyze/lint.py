@@ -1,0 +1,411 @@
+"""``gsnp-lint``: static AST enforcement of the SIMT kernel discipline.
+
+Every paper-level claim this repo reproduces (Table III counters, the
+82 vs 3.2 GB/s coalescing gap, bitwise CPU/GPU score consistency) is only
+valid if every simulated kernel routes its memory traffic through
+:class:`~repro.gpusim.kernel.KernelContext` and follows the lockstep
+idiom.  This linter discovers kernel bodies — functions named
+``*_kernel`` or passed to ``Device.launch`` — and flags violations:
+
+========  ====================  ==============================================
+rule id   name                  what it catches
+========  ====================  ==============================================
+GSNP100   parse-error           file does not parse (reported, not raised)
+GSNP101   kernel-data-access    direct ``.data`` / ``flat_view()`` /
+                                ``copy_to_host()`` access inside a kernel —
+                                traffic the transaction counters never see
+GSNP102   kernel-log-call       ``np.log*`` / ``math.log*`` in a kernel body;
+                                scores must come from the precomputed
+                                ``log_table`` (the paper's contribution 3)
+GSNP103   per-thread-loop       Python loops over ``ctx.tid`` /
+                                ``range(ctx.n_threads)`` — the anti-lockstep
+                                pattern (one iteration per thread)
+GSNP104   dropped-active-mask   ``gstore`` / ``gatomic_add`` without an
+                                ``active`` argument while a live mask is in
+                                scope (write ``active=None`` to assert a
+                                deliberate full-warp store)
+GSNP105   device-fancy-index    NumPy subscripting of a device array inside
+                                a kernel instead of ``ctx.gload``/``gstore``
+========  ====================  ==============================================
+
+Suppress a finding on its line with ``# gsnp-lint: disable=GSNP101`` (rule
+ids or names, comma-separated, or ``all``); suppressions are expected to
+carry a rationale comment nearby.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+#: rule id -> short name
+RULES: dict[str, str] = {
+    "GSNP100": "parse-error",
+    "GSNP101": "kernel-data-access",
+    "GSNP102": "kernel-log-call",
+    "GSNP103": "per-thread-loop",
+    "GSNP104": "dropped-active-mask",
+    "GSNP105": "device-fancy-index",
+}
+
+_RULE_BY_NAME = {name: rid for rid, name in RULES.items()}
+
+_SUPPRESS_RE = re.compile(r"#\s*gsnp-lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+_LOG_FUNCS = {"log", "log10", "log2", "log1p"}
+_LOG_MODULES = {"np", "numpy", "math"}
+_CTX_STORES = {"gstore", "gatomic_add"}
+_CTX_MEM = {"gload", "cload", "gstore", "gatomic_add"}
+_RAW_ACCESSORS = {"flat_view", "copy_to_host"}
+_THREAD_ATTRS = {"tid", "n_threads"}
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, pointing at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{RULES.get(self.rule, '?')}] {self.message}"
+        )
+
+
+def normalize_rules(rules: Optional[Iterable[str]]) -> Optional[set[str]]:
+    """Map a mix of rule ids and names to a set of rule ids."""
+    if rules is None:
+        return None
+    out = set()
+    for r in rules:
+        r = r.strip()
+        if not r:
+            continue
+        if r in RULES:
+            out.add(r)
+        elif r in _RULE_BY_NAME:
+            out.add(_RULE_BY_NAME[r])
+        else:
+            raise ValueError(
+                f"unknown lint rule {r!r}; valid rules: "
+                + ", ".join(f"{k} ({v})" for k, v in RULES.items())
+            )
+    return out
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """line number -> set of suppressed rule tokens (``all`` wildcard)."""
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m:
+            toks = {t.strip() for t in m.group(1).split(",") if t.strip()}
+            out[lineno] = toks
+    return out
+
+
+def _is_suppressed(
+    diag: Diagnostic, suppressions: dict[int, set[str]]
+) -> bool:
+    toks = suppressions.get(diag.line)
+    if not toks:
+        return False
+    return (
+        "all" in toks
+        or diag.rule in toks
+        or RULES.get(diag.rule, "") in toks
+    )
+
+
+class _KernelFinder(ast.NodeVisitor):
+    """Collect every function def plus every name passed to ``*.launch``."""
+
+    def __init__(self) -> None:
+        self.defs: list[ast.FunctionDef] = []
+        self.launched: set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.defs.append(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "launch"
+            and node.args
+        ):
+            target = node.args[0]
+            if isinstance(target, ast.Name):
+                self.launched.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                self.launched.add(target.attr)
+        self.generic_visit(node)
+
+
+def _annotation_names(node: Optional[ast.expr]) -> set[str]:
+    if node is None:
+        return set()
+    return {
+        n.id for n in ast.walk(node) if isinstance(n, ast.Name)
+    } | {
+        n.attr for n in ast.walk(node) if isinstance(n, ast.Attribute)
+    }
+
+
+def _call_is_ctx_mem(node: ast.Call) -> Optional[str]:
+    """Return the method name when ``node`` is a ``<recv>.g{load,store,...}``
+    routed-memory call."""
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _CTX_MEM:
+        return node.func.attr
+    return None
+
+
+class _KernelChecker:
+    """Scan one kernel body in source order (pre-order traversal)."""
+
+    def __init__(self, kernel: ast.FunctionDef, path: str) -> None:
+        self.kernel = kernel
+        self.path = path
+        self.diags: list[Diagnostic] = []
+        self.mask_names = self._collect_mask_names()
+        args = kernel.args
+        self.param_ids = {
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        }
+        self.device_names = self._collect_device_names()
+        self.seen_masks: list[str] = []
+
+    # -- pre-passes --------------------------------------------------------
+
+    def _collect_mask_names(self) -> set[str]:
+        """Names ever passed as ``active=<name>`` in a routed call, plus the
+        conventional name ``active`` itself."""
+        names = {"active"}
+        for node in ast.walk(self.kernel):
+            if isinstance(node, ast.Call) and _call_is_ctx_mem(node):
+                for kw in node.keywords:
+                    if kw.arg == "active" and isinstance(kw.value, ast.Name):
+                        names.add(kw.value.id)
+        return names
+
+    def _collect_device_names(self) -> set[str]:
+        """Kernel parameters that are device arrays: annotated DeviceArray,
+        or used as the array operand of a routed memory call."""
+        args = self.kernel.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        names = {
+            a.arg
+            for a in params
+            if "DeviceArray" in _annotation_names(a.annotation)
+        }
+        for node in ast.walk(self.kernel):
+            if isinstance(node, ast.Call) and _call_is_ctx_mem(node):
+                if node.args and isinstance(node.args[0], ast.Name):
+                    if node.args[0].id in self.param_ids:
+                        names.add(node.args[0].id)
+        return names
+
+    # -- reporting ---------------------------------------------------------
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.diags.append(Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", self.kernel.lineno),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        ))
+
+    # -- traversal ---------------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        for stmt in self.kernel.body:
+            self._visit(stmt)
+        return self.diags
+
+    def _note_mask_binding(self, target: ast.AST) -> None:
+        for n in ast.walk(target):
+            if isinstance(n, ast.Name) and n.id in self.mask_names:
+                if n.id not in self.seen_masks:
+                    self.seen_masks.append(n.id)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are kernel helper code: scan their bodies too.
+            for stmt in node.body:
+                self._visit(stmt)
+            return
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                self._note_mask_binding(t)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            self._note_mask_binding(node.target)
+        elif isinstance(node, ast.NamedExpr):
+            self._note_mask_binding(node.target)
+        elif isinstance(node, ast.For):
+            self._check_for(node)
+        elif isinstance(node, ast.Call):
+            self._check_call(node)
+        elif isinstance(node, ast.Attribute):
+            self._check_attribute(node)
+        elif isinstance(node, ast.Subscript):
+            self._check_subscript(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    # -- rules -------------------------------------------------------------
+
+    def _check_attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "data":
+            self._flag(
+                node, "GSNP101",
+                "direct '.data' access inside kernel "
+                f"'{self.kernel.name}' bypasses transaction counting; "
+                "route the access through ctx.gload/ctx.gstore",
+            )
+
+    def _check_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _RAW_ACCESSORS:
+                self._flag(
+                    node, "GSNP101",
+                    f"'{func.attr}()' inside kernel '{self.kernel.name}' "
+                    "bypasses transaction counting; route the access "
+                    "through ctx.gload/ctx.gstore",
+                )
+            if (
+                func.attr in _LOG_FUNCS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in _LOG_MODULES
+            ):
+                self._flag(
+                    node, "GSNP102",
+                    f"'{func.value.id}.{func.attr}' in kernel "
+                    f"'{self.kernel.name}': scores must come from the "
+                    "precomputed log_table (ctx.cload), not runtime logs",
+                )
+            if func.attr in _CTX_STORES:
+                self._check_store_mask(node, func.attr)
+        elif isinstance(func, ast.Name) and func.id in _LOG_FUNCS:
+            self._flag(
+                node, "GSNP102",
+                f"'{func.id}' call in kernel '{self.kernel.name}': scores "
+                "must come from the precomputed log_table (ctx.cload), "
+                "not runtime logs",
+            )
+
+    def _check_store_mask(self, node: ast.Call, method: str) -> None:
+        has_active = len(node.args) >= 4 or any(
+            kw.arg == "active" for kw in node.keywords
+        )
+        if not has_active and self.seen_masks:
+            live = ", ".join(repr(m) for m in self.seen_masks)
+            self._flag(
+                node, "GSNP104",
+                f"'{method}' drops the live active mask ({live}) in kernel "
+                f"'{self.kernel.name}'; pass active=<mask>, or active=None "
+                "to assert a deliberate full-warp store",
+            )
+
+    def _check_for(self, node: ast.For) -> None:
+        offenders = [
+            n for n in ast.walk(node.iter)
+            if isinstance(n, ast.Attribute) and n.attr in _THREAD_ATTRS
+        ]
+        if offenders:
+            self._flag(
+                node, "GSNP103",
+                f"per-thread Python loop in kernel '{self.kernel.name}' "
+                "(iterates over ctx.tid / ctx.n_threads); write the body "
+                "as one lockstep vector operation instead",
+            )
+
+    def _check_subscript(self, node: ast.Subscript) -> None:
+        if not isinstance(node.value, ast.Name):
+            return
+        # Either a known device array, or any kernel parameter indexed by a
+        # per-thread expression (the subscript itself is the evidence).
+        tid_indexed = node.value.id in self.param_ids and any(
+            isinstance(n, ast.Attribute) and n.attr == "tid"
+            for n in ast.walk(node.slice)
+        )
+        if node.value.id in self.device_names or tid_indexed:
+            self._flag(
+                node, "GSNP105",
+                f"NumPy indexing of device array '{node.value.id}' in "
+                f"kernel '{self.kernel.name}' bypasses coalescing "
+                "analysis; use ctx.gload/ctx.gstore with an index vector",
+            )
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one module's source; returns sorted, suppression-filtered
+    diagnostics (a syntax error yields a single GSNP100 diagnostic)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            path=path, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+            rule="GSNP100", message=f"file does not parse: {exc.msg}",
+        )]
+    finder = _KernelFinder()
+    finder.visit(tree)
+    kernels = [
+        d for d in finder.defs
+        if d.name.endswith("_kernel") or d.name in finder.launched
+    ]
+    suppressions = _suppressions(source)
+    diags: set[Diagnostic] = set()
+    for kernel in kernels:
+        for d in _KernelChecker(kernel, path).run():
+            if not _is_suppressed(d, suppressions):
+                diags.add(d)
+    return sorted(diags)
+
+
+def lint_file(path) -> list[Diagnostic]:
+    """Lint one ``.py`` file."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def lint_paths(
+    paths: Sequence,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Diagnostic]:
+    """Lint files and/or directory trees of ``.py`` files.
+
+    ``select`` restricts to, and ``ignore`` drops, the given rule ids or
+    names (e.g. ``["GSNP104"]`` or ``["dropped-active-mask"]``).
+    """
+    sel = normalize_rules(select)
+    ign = normalize_rules(ignore) or set()
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    out: list[Diagnostic] = []
+    for f in files:
+        for d in lint_file(f):
+            if sel is not None and d.rule not in sel:
+                continue
+            if d.rule in ign:
+                continue
+            out.append(d)
+    return out

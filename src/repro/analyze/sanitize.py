@@ -1,0 +1,260 @@
+"""Runtime kernel sanitizer: racecheck/initcheck for the simulated GPU.
+
+Enabled with ``Device(sanitize=True)``, this layers compute-sanitizer-style
+checks into every :class:`~repro.gpusim.kernel.KernelContext` memory
+operation:
+
+* **write-write races** — two live lanes of one ``gstore`` (or two
+  unsynchronized ``gstore`` calls in the same launch) targeting the same
+  element; reported with the colliding (warp, lane) pairs.  The simulator
+  resolves these deterministically (last lane wins), but on real hardware
+  the winner is undefined — exactly the class of bug racecheck exists for.
+* **read-after-write hazards** — a ``gload``/``cload`` of an element
+  written earlier in the same launch by a *different* lane without an
+  intervening :meth:`~repro.gpusim.kernel.KernelContext.syncthreads`.
+  Lockstep NumPy execution hides these; a real grid would not.
+* **store/atomic mixing** — ``gstore`` and ``gatomic_add`` on the same
+  array within one kernel launch (atomics bypass the write path plain
+  stores take; mixing them makes the transaction counters meaningless and
+  is undefined on pre-Kepler hardware).
+* **uninitialized reads** — via the per-:class:`DeviceArray` shadow
+  written-bitmap: loading an element no kernel ever stored and host code
+  never staged.  ``Device.alloc(..., init=False)`` gives ``cudaMalloc``
+  semantics (contents deterministic zeros, but reading before writing is
+  reported).
+* **leaks** — :meth:`Device.sanitize_teardown` reports arrays never freed
+  and arrays written but never read (dead stores).
+
+All checks raise :class:`~repro.errors.SanitizerError` at the offending
+operation with an actionable report; they add zero overhead when
+``sanitize=False`` (the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SanitizerError
+
+#: Maximum offending lane pairs / elements quoted in one report.
+MAX_REPORTED = 4
+
+
+@dataclass(frozen=True)
+class SanitizerIssue:
+    """One structured sanitizer finding."""
+
+    kind: str  # write-write-race | raw-hazard | mixed-store-atomic |
+    #            uninit-read | leak-unfreed | leak-never-read
+    array: str
+    kernel: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] kernel {self.kernel!r}, "
+            f"array {self.array!r}: {self.detail}"
+        )
+
+
+def _lane(tid: int, warp_size: int) -> str:
+    return f"thread {tid} (warp {tid // warp_size}, lane {tid % warp_size})"
+
+
+class Sanitizer:
+    """Per-device runtime checker; one instance lives on a sanitizing
+    :class:`~repro.gpusim.device.Device` and is consulted by every
+    :class:`~repro.gpusim.kernel.KernelContext` memory operation."""
+
+    def __init__(self, device) -> None:
+        self.device = device
+        self.kernel_name = "<no launch>"
+        #: Raised issues, kept for post-mortem inspection.
+        self.issues: list[SanitizerIssue] = []
+        # Per-launch state: id(arr) -> int64 last-writer lane per element
+        # (-1 = unwritten since the last barrier).
+        self._writers: dict[int, np.ndarray] = {}
+        self._stored: set[int] = set()  # arrays plain-stored this launch
+        self._atomic: set[int] = set()  # arrays atomically updated
+
+    # -- launch lifecycle --------------------------------------------------
+
+    def begin_launch(self, kernel_name: str) -> None:
+        self.kernel_name = kernel_name
+        self._writers.clear()
+        self._stored.clear()
+        self._atomic.clear()
+
+    def end_launch(self) -> None:
+        self.kernel_name = "<no launch>"
+        self._writers.clear()
+        self._stored.clear()
+        self._atomic.clear()
+
+    def barrier(self) -> None:
+        """A ``__syncthreads()``: establishes ordering, so the per-launch
+        hazard window resets.  The store/atomic mixing sets persist — the
+        rule is per kernel, not per barrier interval."""
+        self._writers.clear()
+
+    # -- reporting ---------------------------------------------------------
+
+    def _raise(self, kind: str, array_name: str, detail: str) -> None:
+        issue = SanitizerIssue(
+            kind=kind, array=array_name, kernel=self.kernel_name,
+            detail=detail,
+        )
+        self.issues.append(issue)
+        raise SanitizerError(str(issue), issues=[issue])
+
+    # -- checks ------------------------------------------------------------
+
+    def _writer_map(self, arr) -> np.ndarray:
+        w = self._writers.get(id(arr))
+        if w is None:
+            w = np.full(arr.size, -1, dtype=np.int64)
+            self._writers[id(arr)] = w
+        return w
+
+    def on_load(self, ctx, arr, midx: np.ndarray, live: np.ndarray) -> None:
+        """Check a gather (``gload``/``cload``) for uninitialized reads and
+        read-after-write hazards."""
+        if not live.any():
+            return
+        tids = np.nonzero(live)[0]
+        idx = midx[live]
+        ws = ctx.warp_size
+        shadow = arr._shadow
+        if shadow is not None:
+            bad = ~shadow[idx]
+            if bad.any():
+                samples = ", ".join(
+                    f"element {int(idx[i])} read by {_lane(int(tids[i]), ws)}"
+                    for i in np.nonzero(bad)[0][:MAX_REPORTED]
+                )
+                self._raise(
+                    "uninit-read", arr.name,
+                    f"{int(bad.sum())} lane(s) read elements never written "
+                    f"by any kernel store or host staging: {samples}. "
+                    f"Mask these lanes inactive or initialize the array "
+                    f"(alloc(init=True) / gstore / host .data staging).",
+                )
+        writers = self._writers.get(id(arr))
+        if writers is not None:
+            prev = writers[idx]
+            conflict = (prev >= 0) & (prev != tids)
+            if conflict.any():
+                samples = ", ".join(
+                    f"element {int(idx[i])} written by "
+                    f"{_lane(int(prev[i]), ws)} then read by "
+                    f"{_lane(int(tids[i]), ws)}"
+                    for i in np.nonzero(conflict)[0][:MAX_REPORTED]
+                )
+                self._raise(
+                    "raw-hazard", arr.name,
+                    f"{int(conflict.sum())} read-after-write hazard(s) "
+                    f"within one launch: {samples}. Real warps are not "
+                    f"globally ordered — split the kernel or insert "
+                    f"ctx.syncthreads() between the store and the load.",
+                )
+
+    def on_store(self, ctx, arr, midx: np.ndarray, live: np.ndarray) -> None:
+        """Check a ``gstore`` for intra-call and cross-call write-write
+        races and for mixing with atomics; record the writes."""
+        if id(arr) in self._atomic:
+            self._raise(
+                "mixed-store-atomic", arr.name,
+                "gstore after gatomic_add on the same array in one kernel; "
+                "pick one access mode per array per launch.",
+            )
+        self._stored.add(id(arr))
+        if not live.any():
+            return
+        tids = np.nonzero(live)[0]
+        idx = midx[live]
+        ws = ctx.warp_size
+        order = np.argsort(idx, kind="stable")
+        sidx = idx[order]
+        dup = np.nonzero(sidx[1:] == sidx[:-1])[0]
+        if dup.size:
+            samples = ", ".join(
+                f"element {int(sidx[d])} stored by both "
+                f"{_lane(int(tids[order[d]]), ws)} and "
+                f"{_lane(int(tids[order[d + 1]]), ws)}"
+                for d in dup[:MAX_REPORTED]
+            )
+            self._raise(
+                "write-write-race", arr.name,
+                f"{dup.size} duplicate live store index(es) across lanes "
+                f"of one gstore: {samples}. The hardware winner is "
+                f"undefined — use gatomic_add or make indices unique.",
+            )
+        writers = self._writer_map(arr)
+        prev = writers[idx]
+        conflict = (prev >= 0) & (prev != tids)
+        if conflict.any():
+            samples = ", ".join(
+                f"element {int(idx[i])} stored by {_lane(int(prev[i]), ws)} "
+                f"and later by {_lane(int(tids[i]), ws)}"
+                for i in np.nonzero(conflict)[0][:MAX_REPORTED]
+            )
+            self._raise(
+                "write-write-race", arr.name,
+                f"{int(conflict.sum())} unsynchronized write-write "
+                f"conflict(s) across gstore calls in one launch: {samples}. "
+                f"Insert ctx.syncthreads() or make the write sets disjoint.",
+            )
+        writers[idx] = tids
+        if arr._shadow is not None:
+            arr._shadow[idx] = True
+
+    def on_atomic(self, ctx, arr, midx: np.ndarray, live: np.ndarray) -> None:
+        """Record a ``gatomic_add``; duplicate indices are fine (that is
+        what atomics are for), but mixing with plain stores is not."""
+        if id(arr) in self._stored:
+            self._raise(
+                "mixed-store-atomic", arr.name,
+                "gatomic_add after gstore on the same array in one kernel; "
+                "pick one access mode per array per launch.",
+            )
+        self._atomic.add(id(arr))
+        if not live.any():
+            return
+        tids = np.nonzero(live)[0]
+        idx = midx[live]
+        writers = self._writer_map(arr)
+        writers[idx] = tids
+        if arr._shadow is not None:
+            arr._shadow[idx] = True
+
+
+def teardown_issues(device) -> list[SanitizerIssue]:
+    """The device-teardown leak check: arrays never freed, and arrays
+    written but never read (dead stores).  Works on any device — the
+    read/write tallies are kept even without ``sanitize=True``."""
+    issues: list[SanitizerIssue] = []
+    for arr in device._arrays:
+        if not arr.freed:
+            issues.append(SanitizerIssue(
+                kind="leak-unfreed", array=arr.name, kernel="<teardown>",
+                detail=(
+                    f"{arr.nbytes} bytes in {arr.space} memory never freed "
+                    f"(reads={arr._host_reads + arr._kernel_reads}, "
+                    f"writes={arr._writes})"
+                ),
+            ))
+        if (
+            arr._writes > 0
+            and arr._host_reads + arr._kernel_reads == 0
+            and not arr._consumed
+        ):
+            issues.append(SanitizerIssue(
+                kind="leak-never-read", array=arr.name, kernel="<teardown>",
+                detail=(
+                    f"written {arr._writes} time(s) but never read back "
+                    f"(dead stores — drop the array or read its result)"
+                ),
+            ))
+    return issues

@@ -97,6 +97,12 @@ def main_call(argv=None) -> int:
         help="write GSNP compressed output instead of text",
     )
     p.add_argument("--min-quality", type=int, default=13)
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the simulated device with the kernel sanitizer enabled "
+        "(races, hazards, uninitialized reads, leaks); serial engine only",
+    )
     args = p.parse_args(argv)
 
     det = GsnpDetector.from_files(
@@ -108,6 +114,7 @@ def main_call(argv=None) -> int:
         workers=args.workers,
         shard_size=args.shard_size,
         min_quality=args.min_quality,
+        sanitize=args.sanitize,
     )
     t0 = time.perf_counter()
     result = det.run()
@@ -246,6 +253,46 @@ def main_verify(argv=None) -> int:
     report = verify_engines(ds, window_sizes=windows)
     print(report.summary())
     return 0 if report.passed else 1
+
+
+def main_lint(argv=None) -> int:
+    """Statically check kernel code for SIMT-discipline violations."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-lint", description=main_lint.__doc__
+    )
+    p.add_argument(
+        "paths", nargs="+", help="python files or directories to lint"
+    )
+    p.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids/names to check (default: all)",
+    )
+    p.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids/names to skip",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+    args = p.parse_args(argv)
+
+    from .analyze import RULES, lint_paths
+
+    if args.list_rules:
+        for rid, rname in RULES.items():
+            print(f"{rid}  {rname}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        diags = lint_paths(args.paths, select=select, ignore=ignore)
+    except ValueError as exc:
+        p.error(str(exc))
+    for d in diags:
+        print(d.format())
+    if diags:
+        print(f"{len(diags)} problem(s) found", file=sys.stderr)
+    return 1 if diags else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

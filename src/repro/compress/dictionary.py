@@ -115,6 +115,9 @@ def dict_encode_gpu(device: Device, values: np.ndarray) -> bytes:
     )
     needles = device.to_device(work.astype(np.int64), "dict.needles")
     idx_dev = device_binary_search(device, needles, hay)
+    # The search charges the real lookup traffic; the actual DICT codes are
+    # produced by the host-side dict_encode below.
+    idx_dev.mark_consumed()
     for a in (keys, sorted_keys, uniq, hay, needles, idx_dev):
         device.free(a)
     return dict_encode(values)

@@ -95,7 +95,9 @@ def gsnp_counting(
     ordinal[order] = ordinal_sorted
     slots_h = offsets[site_h] + ordinal
     slots = device.to_device(slots_h, "append_slots")
-    out = device.alloc(m, np.uint32, "base_word_out")
+    # init=False: every slot must come from the scatter, never the memset —
+    # the sanitizer's uninitialized-read check verifies full coverage.
+    out = device.alloc(m, np.uint32, "base_word_out", init=False)
     device.launch(
         _scatter_kernel, m, sites_dev, words_in, slots, out, m,
         name="counting_scatter",

@@ -140,6 +140,7 @@ class GsnpDetector:
         min_quality: int = 0,
         workers: int = 1,
         shard_size: Optional[int] = None,
+        sanitize: bool = False,
     ) -> None:
         self.engine = resolve_engine(engine)
         self.params = params
@@ -148,6 +149,7 @@ class GsnpDetector:
         self.min_quality = min_quality
         self.workers = workers
         self.shard_size = shard_size
+        self.sanitize = sanitize
         self.dataset: Optional[SimulatedDataset] = None
         self.last_result = None
 
@@ -173,6 +175,12 @@ class GsnpDetector:
                 "with from_files()"
             )
         if self.workers > 1 or self.shard_size is not None:
+            if self.sanitize:
+                raise ValueError(
+                    "sanitize=True requires the serial engine (workers=1, "
+                    "no shard_size): the sharded executor owns its "
+                    "per-shard devices"
+                )
             from ..exec import execute
 
             result = execute(
@@ -186,13 +194,21 @@ class GsnpDetector:
                 shard_size=self.shard_size,
             )
         else:
+            device = None
+            if self.sanitize:
+                from ..gpusim.device import Device
+
+                device = Device(sanitize=True)
             pipe = create_pipeline(
                 self.engine,
                 params=self.params,
                 window_size=self.window_size,
                 variant=self.variant,
+                device=device,
             )
             result = pipe.run(dataset, output_path=output_path)
+            if device is not None:
+                device.sanitize_teardown(strict=True)
         self.last_result = result
         return result
 

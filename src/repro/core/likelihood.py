@@ -88,16 +88,29 @@ class GsnpTables:
         newp = build_new_p_matrix(
             pm_flat.reshape(64, MAX_READ_LEN, 4, 4)
         )
+        # Both score tables are uploaded regardless of kernel variant (the
+        # paper's GSNP keeps them resident); a run using only the
+        # new_p_matrix lookup never reads p_matrix, and vice versa.
+        pm_dev = device.to_device(pm_flat, "p_matrix")
+        newp_dev = device.to_device(newp, "new_p_matrix")
+        penalty_dev = device.to_constant(penalty.astype(np.int32), "log_table")
+        for t in (pm_dev, newp_dev, penalty_dev):
+            t.mark_consumed()
         return GsnpTables(
             pm_host=pm_flat,
             newp_host=newp,
             penalty_host=penalty.astype(np.int32),
-            pm_dev=device.to_device(pm_flat, "p_matrix"),
-            newp_dev=device.to_device(newp, "new_p_matrix"),
-            penalty_dev=device.to_constant(
-                penalty.astype(np.int32), "log_table"
-            ),
+            pm_dev=pm_dev,
+            newp_dev=newp_dev,
+            penalty_dev=penalty_dev,
         )
+
+    def free(self, device: Device) -> None:
+        """Release the device copies (the teardown leak check flags score
+        tables that outlive their pipeline run)."""
+        for arr in (self.pm_dev, self.newp_dev, self.penalty_dev):
+            if not arr.freed:
+                device.free(arr)
 
 
 def gsnp_likelihood_sort(
@@ -139,12 +152,13 @@ def _comp_kernel(
     acc = np.zeros((n, N_GENOTYPES), dtype=np.float64)
     dep = np.zeros((n, N_STRANDS * MAX_READ_LEN), dtype=np.int32)
     last_base = np.zeros(n, dtype=np.int64)
-    pm_flat = tables.pm_host
-    newp_flat = tables.newp_host
     for j in range(width):
-        active = j < lens
-        w = ctx.gload(words_dev, np.minimum(starts + j, words_dev.size - 1),
-                      active=active)
+        # Out-of-range lanes are masked inactive, never clamped: a clamped
+        # phantom gather would issue real transactions and inflate
+        # g_load / g_load_bytes with reads no thread performs.
+        word_idx = starts + j
+        active = (j < lens) & (word_idx < words_dev.size)
+        w = ctx.gload(words_dev, word_idx, active=active)
         base, score, coord, strand = extract_words(w)
         base_i = base.astype(np.int64)
         ctx.instr(_INSTR_EXTRACT, active=active)
@@ -183,7 +197,9 @@ def _comp_kernel(
                 p1 = ctx.gload(tables.pm_dev, i1, active=active)
                 p2 = ctx.gload(tables.pm_dev, i2, active=active)
                 with np.errstate(divide="ignore"):
-                    val = np.log10(0.5 * p1 + 0.5 * p2)
+                    # The baseline variant computes log10 on the fly — the
+                    # very cost the log-free score table removes (Table III).
+                    val = np.log10(0.5 * p1 + 0.5 * p2)  # gsnp-lint: disable=GSNP102
                 ctx.instr(_INSTR_LOG10, active=active)
             contribution = np.where(active, val, 0.0)
             if variant.use_shared:
@@ -197,10 +213,11 @@ def _comp_kernel(
             ctx.instr(_INSTR_PER_GENOTYPE, active=active)
 
     if variant.use_shared:
-        # Copy s_type_likely to global memory through coalesced writes.
+        # Copy s_type_likely to global memory through coalesced writes;
+        # every lane participates, hence the explicit full-warp mask.
         for gi in range(N_GENOTYPES):
             ctx.note_shared(loads=1)
-            ctx.gstore(tl_dev, tid * 16 + gi, acc[:, gi])
+            ctx.gstore(tl_dev, tid * 16 + gi, acc[:, gi], active=None)
     acc_out[:] = acc
 
 
@@ -233,6 +250,9 @@ def gsnp_likelihood_comp(
         width = int(uppers[ci])
         n = rows.size
         tl_dev = device.alloc(n * 16, np.float64, "type_likely")
+        # The kernel stores the real global-memory output here (charged as
+        # traffic); the simulator hands results back through ``acc``.
+        tl_dev.mark_consumed()
         dep_dev = device.alloc(
             n * N_STRANDS * MAX_READ_LEN, np.int32, "dep_count"
         )

@@ -194,7 +194,7 @@ class GsnpPipeline:
             penalty = params.penalty_table()
             temp_blob = encode_alignments(reads)
             if self.mode == "gpu":
-                GsnpTables.load(scratch, pm_flat, penalty)
+                GsnpTables.load(scratch, pm_flat, penalty).free(scratch)
                 newp_flat = None
             else:
                 newp_flat = build_new_p_matrix(
@@ -379,6 +379,8 @@ class GsnpPipeline:
         finally:
             if out_f is not None:
                 out_f.close()
+            if self.mode == "gpu":
+                tables.free(device)
 
         full = tables_out[0]
         for t in tables_out[1:]:

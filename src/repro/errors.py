@@ -19,6 +19,19 @@ class KernelError(DeviceError):
     """Raised when a simulated kernel is launched with an invalid config."""
 
 
+class SanitizerError(DeviceError):
+    """Raised by ``Device(sanitize=True)`` when a kernel violates the
+    simulator's memory discipline (races, hazards, uninitialized reads).
+
+    Carries the structured :class:`repro.analyze.sanitize.SanitizerIssue`
+    list so tooling can report warp/lane pairs without parsing messages.
+    """
+
+    def __init__(self, message: str, issues=()):
+        super().__init__(message)
+        self.issues = list(issues)
+
+
 class FormatError(GsnpError):
     """Raised when an input file does not conform to its declared format."""
 

@@ -39,8 +39,38 @@ class KernelCounters:
     #: Number of multiprocessors used for the PW normalization.
     num_sms: int = 14
 
+    def _is_empty(self) -> bool:
+        return (
+            self.launches == 0
+            and self.inst_warp == 0
+            and self.g_load == 0
+            and self.g_store == 0
+            and self.g_load_bytes == 0
+            and self.g_store_bytes == 0
+            and self.s_load_warp == 0
+            and self.s_store_warp == 0
+            and self.c_load == 0
+        )
+
     def merge(self, other: "KernelCounters") -> None:
-        """Fold another counter set into this one."""
+        """Fold another counter set into this one.
+
+        The ``*_pw`` views divide by ``num_sms``, so counters gathered on
+        devices with different multiprocessor counts must never be summed:
+        a still-empty accumulator adopts the other side's ``num_sms``,
+        while folding two non-empty mismatched sets raises.
+        """
+        if self.num_sms != other.num_sms and not other._is_empty():
+            if self._is_empty():
+                self.num_sms = other.num_sms
+            else:
+                from ..errors import DeviceError
+
+                raise DeviceError(
+                    f"cannot merge counters for {other.name or self.name!r} "
+                    f"across device specs: num_sms {self.num_sms} != "
+                    f"{other.num_sms} (PW normalization would be wrong)"
+                )
         self.launches += other.launches
         self.inst_warp += other.inst_warp
         self.g_load += other.g_load

@@ -45,10 +45,18 @@ class Device:
     enforce_memory:
         When true, allocations beyond ``spec.global_mem_bytes`` raise
         :class:`AllocationError` (mirrors a real ``cudaMalloc`` failure).
+    sanitize:
+        When true, runs every kernel under the runtime sanitizer
+        (:mod:`repro.analyze.sanitize`): write-write race and
+        read-after-write hazard detection, gstore/gatomic mixing checks,
+        and uninitialized-read detection via per-array shadow bitmaps.
+        Results are bitwise identical to a non-sanitized run; violations
+        raise :class:`~repro.errors.SanitizerError`.
     """
 
     spec: GpuSpec = field(default_factory=GpuSpec)
     enforce_memory: bool = True
+    sanitize: bool = False
     counters: CounterBook = field(init=False)
     transfers: TransferLog = field(default_factory=TransferLog)
 
@@ -57,6 +65,12 @@ class Device:
         self._global_used = 0
         self._constant_used = 0
         self._arrays: list[DeviceArray] = []
+        if self.sanitize:
+            from ..analyze.sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer(self)
+        else:
+            self.sanitizer = None
 
     # -- memory management -------------------------------------------------
 
@@ -78,11 +92,26 @@ class Device:
     _peak: int = 0
 
     def alloc(
-        self, shape, dtype, name: str = "anon", space: str = "global"
+        self,
+        shape,
+        dtype,
+        name: str = "anon",
+        space: str = "global",
+        init: bool = True,
     ) -> DeviceArray:
-        """Allocate a zero-initialized device array."""
+        """Allocate a device array.
+
+        With ``init=True`` (default) the array is zero-initialized, like a
+        ``cudaMemset``-cleared buffer.  ``init=False`` models a raw
+        ``cudaMalloc``: the contents are still deterministic zeros (the
+        simulator never produces garbage), but under ``sanitize=True``
+        reading an element before any kernel stores to it is reported as
+        an uninitialized read.
+        """
         data = np.zeros(shape, dtype=dtype)
-        return self._register(DeviceArray(name, data, space, self))
+        return self._register(
+            DeviceArray(name, data, space, self), initialized=init
+        )
 
     def to_device(
         self, host: np.ndarray, name: str = "anon", space: str = "global"
@@ -90,6 +119,7 @@ class Device:
         """Copy a host array to the device, accounting PCIe traffic."""
         host = np.ascontiguousarray(host)
         arr = self._register(DeviceArray(name, host.copy(), space, self))
+        arr._writes += 1
         self.transfers.h2d_bytes += host.nbytes
         self.transfers.h2d_count += 1
         return arr
@@ -123,9 +153,12 @@ class Device:
         else:
             self._constant_used -= arr.nbytes
         arr._freed = True
-        arr.data = np.empty(0, dtype=arr.data.dtype)
+        arr._data = np.empty(0, dtype=arr._data.dtype)
+        arr._shadow = None
 
-    def _register(self, arr: DeviceArray) -> DeviceArray:
+    def _register(
+        self, arr: DeviceArray, initialized: bool = True
+    ) -> DeviceArray:
         if arr.space == "global":
             if (
                 self.enforce_memory
@@ -146,6 +179,8 @@ class Device:
             ):
                 raise AllocationError("constant memory overflow")
             self._constant_used += arr.nbytes
+        if self.sanitize:
+            arr.enable_shadow(initialized)
         self._arrays.append(arr)
         return arr
 
@@ -191,7 +226,14 @@ class Device:
             n_threads=n_threads,
             block_size=block_size,
         )
-        result = kernel(ctx, *args, **kwargs)
+        san = self.sanitizer
+        if san is not None:
+            san.begin_launch(kname)
+        try:
+            result = kernel(ctx, *args, **kwargs)
+        finally:
+            if san is not None:
+                san.end_launch()
         book_entry.merge(local)
         return result
 
@@ -199,3 +241,28 @@ class Device:
         """Drop accumulated counters and transfer statistics."""
         self.counters.reset()
         self.transfers.reset()
+
+    # -- sanitizer teardown --------------------------------------------------
+
+    def sanitize_teardown(self, strict: bool = False):
+        """Run the device-teardown leak check.
+
+        Returns the list of :class:`~repro.analyze.sanitize.SanitizerIssue`
+        for arrays never freed and arrays written but never read.  With
+        ``strict=True`` a non-empty report raises
+        :class:`~repro.errors.SanitizerError`.  Available on any device —
+        the underlying read/write tallies are kept even without
+        ``sanitize=True``.
+        """
+        from ..analyze.sanitize import teardown_issues
+
+        issues = teardown_issues(self)
+        if strict and issues:
+            from ..errors import SanitizerError
+
+            raise SanitizerError(
+                "device teardown check failed:\n"
+                + "\n".join(str(i) for i in issues),
+                issues=issues,
+            )
+        return issues

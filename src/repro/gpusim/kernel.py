@@ -42,6 +42,8 @@ class KernelContext:
         self.n_threads = int(n_threads)
         self.block_size = int(block_size)
         self.warp_size = device.spec.warp_size
+        #: Runtime sanitizer, or None (``Device(sanitize=True)`` sets it).
+        self.sanitizer = getattr(device, "sanitizer", None)
         #: Global thread ids, the vector every kernel body indexes with.
         self.tid = np.arange(self.n_threads, dtype=np.int64)
 
@@ -92,6 +94,18 @@ class KernelContext:
         """
         self.counters.inst_warp += int(per_thread) * self._active_warps(active)
 
+    def syncthreads(self) -> None:
+        """A block-wide barrier (``__syncthreads()``).
+
+        Establishes memory ordering between the stores before it and the
+        loads after it, which is what the runtime sanitizer's race and
+        hazard windows key on.  No instructions are charged here: kernels
+        that need barriers already fold the cost into their per-step
+        ``instr`` constants (see the batch bitonic kernel).
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.barrier()
+
     def note_shared(
         self,
         loads: int = 0,
@@ -128,6 +142,9 @@ class KernelContext:
         self.counters.inst_warp += self._active_warps(active)
         flat = arr.flat_view()
         self._bounds_check(arr, midx[live])
+        arr._kernel_reads += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_load(self, arr, midx, live)
         out = np.full(self.n_threads, fill, dtype=arr.dtype)
         out[live] = flat[midx[live]]
         return out
@@ -158,6 +175,9 @@ class KernelContext:
             np.asarray(values, dtype=arr.dtype), (self.n_threads,)
         )
         self._bounds_check(arr, midx[live])
+        arr._writes += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_store(self, arr, midx, live)
         arr.flat_view()[midx[live]] = vals[live]
 
     def gatomic_add(
@@ -185,6 +205,9 @@ class KernelContext:
             np.asarray(values, dtype=arr.dtype), (self.n_threads,)
         )
         self._bounds_check(arr, midx[live])
+        arr._writes += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_atomic(self, arr, midx, live)
         np.add.at(arr.flat_view(), midx[live], vals[live])
 
     # -- constant memory --------------------------------------------------------
@@ -207,6 +230,9 @@ class KernelContext:
         self.counters.c_load += int(live.sum())
         self.counters.inst_warp += self._active_warps(active)
         self._bounds_check(arr, midx[live])
+        arr._kernel_reads += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_load(self, arr, midx, live)
         out = np.full(self.n_threads, fill, dtype=arr.dtype)
         out[live] = arr.flat_view()[midx[live]]
         return out

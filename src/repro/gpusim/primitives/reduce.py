@@ -24,7 +24,9 @@ def _reduce_pass_kernel(ctx, src: DeviceArray, dst: DeviceArray, n: int, op):
     b = ctx.gload(src, np.minimum(right, n - 1), active=has_right)
     combined = np.where(has_right, op(a, b), a)
     ctx.instr(2)
-    ctx.gstore(dst, ctx.tid, combined)
+    # Every lane owns one output slot (lanes without a right element pass
+    # their left value through), hence the explicit full-warp mask.
+    ctx.gstore(dst, ctx.tid, combined, active=None)
 
 
 def device_reduce(device: Device, arr: DeviceArray, op: str = "sum"):

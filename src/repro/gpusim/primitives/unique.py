@@ -47,7 +47,8 @@ def device_unique(device: Device, sorted_keys: DeviceArray) -> DeviceArray:
     device.launch(_flag_kernel, n, sorted_keys, flags, n, name="unique_flag")
     positions = device_exclusive_scan(device, flags)
     n_unique = int(positions.data[-1] + flags.data[-1])
-    out = device.alloc(n_unique, sorted_keys.dtype, name="unique")
+    # init=False: compaction must populate every output slot itself.
+    out = device.alloc(n_unique, sorted_keys.dtype, name="unique", init=False)
     device.launch(
         _compact_kernel,
         n,

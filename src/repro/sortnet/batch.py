@@ -27,66 +27,63 @@ def _batch_bitonic_kernel(
 ):
     """One thread per element; each block owns whole arrays.
 
-    The functional sort runs on the backing store with the same network
-    schedule a per-thread implementation would execute, so results and
-    accounting agree with real lockstep execution.
+    In the shared-memory configuration the sort runs in shared memory
+    (which the simulator does not materialize — the backing store stands
+    in for it), so global memory is only touched by the staging copies.
+    In the global-memory configuration every compare-exchange is routed
+    through ``ctx`` for real, with a barrier between network steps, so
+    both the results and the accounting come from lockstep execution.
     """
-    n_threads = ctx.n_threads
     elem_idx = ctx.tid  # thread t owns element t of the flattened batch
     active = elem_idx < n_arrays * m
-    # Stage the batch: coalesced read of every element.
+    col = elem_idx % m
     if use_shared:
-        _ = ctx.gload(batch, np.minimum(elem_idx, batch.size - 1), active=active)
+        # Stage the batch into shared memory: coalesced read per element.
+        _ = ctx.gload(batch, elem_idx, active=active)
         ctx.note_shared(stores=1, active=active)
-    view = batch.data.reshape(n_arrays, m)
-    for k, j in bitonic_steps(m):
-        i, partner, ascending = compare_exchange_indices(m, k, j)
-        # Functional compare-exchange over the whole batch.
-        a = view[:, i]
-        b = view[:, partner]
-        swap = np.where(ascending[None, :], a > b, a < b)
-        view[:, i] = np.where(swap, b, a)
-        view[:, partner] = np.where(swap, a, b)
-        # Accounting: half the threads own a pair; in lockstep the whole
-        # warp still issues the instructions (divergence!).
-        pair_owner = active & (((elem_idx % m) ^ j) > (elem_idx % m))
-        if use_shared:
+        # Shared-memory stand-in: the network runs on the backing store in
+        # place of the (unmaterialized) shared buffer.
+        view = batch.data.reshape(n_arrays, m)  # gsnp-lint: disable=GSNP101
+        for k, j in bitonic_steps(m):
+            i, partner, ascending = compare_exchange_indices(m, k, j)
+            a = view[:, i]
+            b = view[:, partner]
+            swap = np.where(ascending[None, :], a > b, a < b)
+            view[:, i] = np.where(swap, b, a)
+            view[:, partner] = np.where(swap, a, b)
+            # Half the threads own a pair; in lockstep the whole warp still
+            # issues the instructions (divergence!).
+            pair_owner = active & ((col ^ j) > col)
             ctx.note_shared(loads=2, stores=2, active=pair_owner)
             # Compare-exchange + index math + __syncthreads per step; the
             # whole warp pays even for non-owner lanes (divergence).
             ctx.instr(12, active=active)
-        else:
-            row = elem_idx // m
-            col = elem_idx % m
-            mine = row * m + col
-            partner_idx = row * m + (col ^ j)
-            _ = ctx.gload(batch, np.minimum(mine, batch.size - 1), active=pair_owner)
-            _ = ctx.gload(
-                batch, np.minimum(partner_idx, batch.size - 1), active=pair_owner
-            )
-            ctx.instr(4, active=pair_owner)
-            # Stores of both elements of the pair.
-            lo = view[:, :].reshape(-1)
-            ctx.gstore(
-                batch,
-                np.minimum(mine, batch.size - 1),
-                lo[np.minimum(mine, batch.size - 1)],
-                active=pair_owner,
-            )
-            ctx.gstore(
-                batch,
-                np.minimum(partner_idx, batch.size - 1),
-                lo[np.minimum(partner_idx, batch.size - 1)],
-                active=pair_owner,
-            )
-    if use_shared:
+            ctx.syncthreads()
         ctx.note_shared(loads=1, active=active)
+        sorted_flat = batch.data.reshape(-1)  # gsnp-lint: disable=GSNP101
         ctx.gstore(
             batch,
-            np.minimum(elem_idx, batch.size - 1),
-            batch.data.reshape(-1)[np.minimum(elem_idx, batch.size - 1)],
+            elem_idx,
+            sorted_flat[np.minimum(elem_idx, batch.size - 1)],
             active=active,
         )
+    else:
+        # Global-memory path: the pair owner loads both elements, resolves
+        # the compare-exchange in registers, and stores both back.
+        for k, j in bitonic_steps(m):
+            pair_owner = active & ((col ^ j) > col)
+            partner_idx = elem_idx - col + (col ^ j)
+            ascending = (col & k) == 0
+            a = ctx.gload(batch, elem_idx, active=pair_owner)
+            b = ctx.gload(batch, partner_idx, active=pair_owner)
+            swap = pair_owner & np.where(ascending, a > b, a < b)
+            ctx.instr(4, active=pair_owner)
+            ctx.gstore(batch, elem_idx, np.where(swap, b, a), active=pair_owner)
+            ctx.gstore(
+                batch, partner_idx, np.where(swap, a, b), active=pair_owner
+            )
+            # The next step reads what other lanes just wrote.
+            ctx.syncthreads()
 
 
 def batch_sort(

@@ -1,0 +1,331 @@
+"""gsnp-lint: static enforcement of the SIMT kernel discipline.
+
+Seeds each rule's violation into synthetic kernel source and checks the
+diagnostic lands on the right file:line with the right rule id — plus
+kernel discovery, suppression comments, rule filtering, the CLI exit
+codes, and the acceptance gate that the repo's own kernels lint clean.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analyze import Diagnostic, RULES, lint_paths, lint_source
+from repro.cli import main_lint
+
+
+def _lint(src):
+    return lint_source(textwrap.dedent(src), "test.py")
+
+
+class TestKernelDiscovery:
+    def test_suffix_named_function_is_a_kernel(self):
+        diags = _lint(
+            """
+            def scatter_kernel(ctx, out):
+                x = out.data
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP101"]
+
+    def test_launch_argument_is_a_kernel(self):
+        diags = _lint(
+            """
+            def body(ctx, out):
+                x = out.data
+
+            def run(device, out):
+                device.launch(body, 32, out)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP101"]
+        assert "body" in diags[0].message
+
+    def test_host_code_is_not_linted(self):
+        diags = _lint(
+            """
+            import numpy as np
+
+            def stage(device, host):
+                arr = device.to_device(host)
+                print(arr.data, np.log(host))
+                for x in arr.data:
+                    pass
+            """
+        )
+        assert diags == []
+
+
+class TestRules:
+    def test_gsnp101_data_access(self):
+        diags = _lint(
+            """
+            def bad_kernel(ctx, arr):
+                v = arr.data[0]
+            """
+        )
+        assert diags[0].rule == "GSNP101"
+        assert diags[0].line == 3
+        assert "transaction counting" in diags[0].message
+
+    def test_gsnp101_flat_view(self):
+        diags = _lint(
+            """
+            def bad_kernel(ctx, arr):
+                v = arr.flat_view()
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP101"]
+
+    def test_gsnp102_module_log(self):
+        diags = _lint(
+            """
+            import numpy as np
+
+            def bad_kernel(ctx, arr, out):
+                v = ctx.gload(arr, ctx.tid)
+                w = np.log10(v)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP102"]
+        assert diags[0].line == 6
+        assert "log_table" in diags[0].message
+
+    def test_gsnp102_bare_log(self):
+        diags = _lint(
+            """
+            from math import log
+
+            def bad_kernel(ctx, v):
+                return log(v)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP102"]
+
+    def test_gsnp103_loop_over_tid(self):
+        diags = _lint(
+            """
+            def bad_kernel(ctx, arr):
+                for t in ctx.tid:
+                    pass
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP103"]
+        assert diags[0].line == 3
+
+    def test_gsnp103_range_n_threads(self):
+        diags = _lint(
+            """
+            def bad_kernel(ctx, arr):
+                for t in range(ctx.n_threads):
+                    pass
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP103"]
+
+    def test_gsnp103_lockstep_width_loop_is_fine(self):
+        diags = _lint(
+            """
+            def good_kernel(ctx, arr, width, lens):
+                for j in range(width):
+                    active = j < lens
+            """
+        )
+        assert diags == []
+
+    def test_gsnp104_dropped_mask(self):
+        diags = _lint(
+            """
+            def bad_kernel(ctx, out, n):
+                active = ctx.tid < n
+                v = ctx.gload(out, ctx.tid, active=active)
+                ctx.gstore(out, ctx.tid, v)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP104"]
+        assert diags[0].line == 5
+        assert "'active'" in diags[0].message
+
+    def test_gsnp104_explicit_none_suppresses(self):
+        diags = _lint(
+            """
+            def good_kernel(ctx, out, n):
+                active = ctx.tid < n
+                v = ctx.gload(out, ctx.tid, active=active)
+                ctx.gstore(out, ctx.tid, v, active=None)
+            """
+        )
+        assert diags == []
+
+    def test_gsnp104_no_mask_in_scope_is_fine(self):
+        diags = _lint(
+            """
+            def good_kernel(ctx, out):
+                ctx.gstore(out, ctx.tid, ctx.tid)
+            """
+        )
+        assert diags == []
+
+    def test_gsnp104_tracks_custom_mask_names(self):
+        diags = _lint(
+            """
+            def bad_kernel(ctx, out, flags, n):
+                emit = ctx.tid < n
+                v = ctx.gload(flags, ctx.tid, active=emit)
+                ctx.gatomic_add(out, v, 1)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP104"]
+        assert "'emit'" in diags[0].message
+
+    def test_gsnp105_fancy_index(self):
+        diags = _lint(
+            """
+            def bad_kernel(ctx, src, out):
+                v = ctx.gload(src, ctx.tid, active=None)
+                out[ctx.tid] = v
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP105"]
+        assert diags[0].line == 4
+        assert "'out'" in diags[0].message
+
+    def test_gsnp105_annotation_marks_device_array(self):
+        diags = _lint(
+            """
+            def bad_kernel(ctx, table: DeviceArray):
+                v = table[0]
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP105"]
+
+    def test_gsnp105_plain_numpy_param_is_fine(self):
+        diags = _lint(
+            """
+            def good_kernel(ctx, acc, out):
+                v = ctx.gload(out, ctx.tid, active=None)
+                acc[:, 0] = v
+            """
+        )
+        assert diags == []
+
+    def test_gsnp100_syntax_error(self):
+        diags = lint_source("def broken(:\n", "bad.py")
+        assert [d.rule for d in diags] == ["GSNP100"]
+
+    def test_five_distinct_rules_in_one_kernel(self):
+        diags = _lint(
+            """
+            import numpy as np
+
+            def awful_kernel(ctx, arr, out, n):
+                active = ctx.tid < n
+                raw = arr.data
+                v = np.log(raw)
+                for t in ctx.tid:
+                    pass
+                ctx.gstore(out, ctx.tid, v)
+                out[0] = 1.0
+            """
+        )
+        assert {d.rule for d in diags} == {
+            "GSNP101", "GSNP102", "GSNP103", "GSNP104", "GSNP105"
+        }
+        # Every diagnostic is addressable: real line, 1-based column.
+        assert all(d.line > 1 and d.col >= 1 for d in diags)
+
+
+class TestSuppression:
+    def test_line_comment_suppresses_by_id(self):
+        diags = _lint(
+            """
+            def ok_kernel(ctx, arr):
+                v = arr.data  # gsnp-lint: disable=GSNP101
+            """
+        )
+        assert diags == []
+
+    def test_line_comment_suppresses_by_name(self):
+        diags = _lint(
+            """
+            def ok_kernel(ctx, arr):
+                v = arr.data  # gsnp-lint: disable=kernel-data-access
+            """
+        )
+        assert diags == []
+
+    def test_suppression_is_rule_specific(self):
+        diags = _lint(
+            """
+            import numpy as np
+
+            def bad_kernel(ctx, arr):
+                v = np.log(arr.data)  # gsnp-lint: disable=GSNP102
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP101"]
+
+    def test_disable_all(self):
+        diags = _lint(
+            """
+            import numpy as np
+
+            def ok_kernel(ctx, arr):
+                v = np.log(arr.data)  # gsnp-lint: disable=all
+            """
+        )
+        assert diags == []
+
+
+class TestPathsAndFilters:
+    @pytest.fixture
+    def tree(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "def a_kernel(ctx, arr):\n    return arr.data\n"
+        )
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.py").write_text(
+            "import numpy as np\n"
+            "def b_kernel(ctx, v):\n    return np.log(v)\n"
+        )
+        return tmp_path
+
+    def test_directory_recursion(self, tree):
+        diags = lint_paths([tree])
+        assert {d.rule for d in diags} == {"GSNP101", "GSNP102"}
+        assert {d.path.endswith("a.py") for d in diags} == {True, False}
+
+    def test_select(self, tree):
+        diags = lint_paths([tree], select=["GSNP102"])
+        assert [d.rule for d in diags] == ["GSNP102"]
+
+    def test_ignore_by_name(self, tree):
+        diags = lint_paths([tree], ignore=["kernel-log-call"])
+        assert [d.rule for d in diags] == ["GSNP101"]
+
+    def test_unknown_rule_raises(self, tree):
+        with pytest.raises(ValueError, match="GSNP999"):
+            lint_paths([tree], select=["GSNP999"])
+
+    def test_cli_exit_codes(self, tree, capsys):
+        assert main_lint([str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "GSNP101" in out and "a.py" in out
+        assert main_lint([str(tree), "--select", "GSNP104"]) == 0
+
+    def test_repo_kernels_lint_clean(self):
+        """The acceptance gate: the repo's own kernel code passes."""
+        assert lint_paths(["src/repro"]) == []
+
+
+class TestDiagnostic:
+    def test_format_is_file_line_col(self):
+        d = Diagnostic(path="x.py", line=3, col=5,
+                       rule="GSNP101", message="m")
+        assert d.format() == "x.py:3:5: GSNP101 [kernel-data-access] m"
+
+    def test_rule_table_complete(self):
+        assert set(RULES) == {
+            "GSNP100", "GSNP101", "GSNP102", "GSNP103", "GSNP104", "GSNP105"
+        }

@@ -1,0 +1,81 @@
+"""Property test: count_transactions vs a brute-force per-warp oracle.
+
+The vectorized sentinel-segment algorithm in
+:func:`repro.gpusim.memory.count_transactions` underpins every
+coalescing-dependent number in the reproduction, so it is checked here
+against the obvious O(n) definition: split lanes into warps, collect the
+set of 128-byte segments the live lanes of each warp touch, sum the set
+sizes.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.memory import count_transactions
+
+
+def oracle(indices, itemsize, warp_size, segment_bytes):
+    """Per-warp set-of-touched-segments, one warp at a time."""
+    idx = np.asarray(indices).ravel()
+    total = 0
+    for w0 in range(0, idx.size, warp_size):
+        segs = set()
+        for i in idx[w0:w0 + warp_size]:
+            if i >= 0:  # negative index = inactive lane, no transaction
+                segs.add((int(i) * itemsize) // segment_bytes)
+        total += len(segs)
+    return total
+
+
+indices_st = st.lists(
+    st.integers(min_value=-1, max_value=10_000), min_size=0, max_size=300
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    indices=indices_st,
+    itemsize=st.sampled_from([1, 2, 4, 8]),
+    warp_size=st.sampled_from([4, 8, 16, 32]),
+    segment_bytes=st.sampled_from([32, 64, 128]),
+)
+def test_matches_oracle(indices, itemsize, warp_size, segment_bytes):
+    idx = np.array(indices, dtype=np.int64)
+    got = count_transactions(
+        idx, itemsize, warp_size=warp_size, segment_bytes=segment_bytes
+    )
+    assert got == oracle(idx, itemsize, warp_size, segment_bytes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.data(),
+    n=st.integers(min_value=1, max_value=256),
+    warp_size=st.sampled_from([8, 32]),
+)
+def test_masked_lanes_free(data, n, warp_size):
+    """Deactivating lanes can only remove transactions, never add them."""
+    idx = np.array(
+        data.draw(st.lists(
+            st.integers(min_value=0, max_value=5000), min_size=n, max_size=n
+        )),
+        dtype=np.int64,
+    )
+    mask = np.array(
+        data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    )
+    masked = np.where(mask, idx, -1)
+    full = count_transactions(idx, 4, warp_size=warp_size)
+    part = count_transactions(masked, 4, warp_size=warp_size)
+    assert part <= full
+    assert part == oracle(masked, 4, warp_size, 128)
+
+
+def test_paper_coalescing_extremes():
+    """The Section VI-A endpoints: a fully coalesced warp costs 1
+    transaction, a fully scattered warp costs 32."""
+    coalesced = np.arange(32, dtype=np.int64)
+    scattered = np.arange(32, dtype=np.int64) * 32  # 128B apart at 4B items
+    assert count_transactions(coalesced, 4) == 1
+    assert count_transactions(scattered, 4) == 32
