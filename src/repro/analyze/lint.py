@@ -5,7 +5,8 @@ Every paper-level claim this repo reproduces (Table III counters, the
 valid if every simulated kernel routes its memory traffic through
 :class:`~repro.gpusim.kernel.KernelContext` and follows the lockstep
 idiom.  This linter discovers kernel bodies — functions named
-``*_kernel`` or passed to ``Device.launch`` — and flags violations:
+``*_kernel`` or passed to ``Device.launch`` / ``DeviceStream.enqueue`` —
+and flags violations:
 
 ========  ====================  ==============================================
 rule id   name                  what it catches
@@ -126,7 +127,14 @@ def _is_suppressed(
 
 
 class _KernelFinder(ast.NodeVisitor):
-    """Collect every function def plus every name passed to ``*.launch``."""
+    """Collect every function def plus every name passed to a launch site.
+
+    Launch sites are ``*.launch(...)`` (``Device.launch``) and
+    ``*.enqueue(...)`` (``DeviceStream.enqueue``, the pipelined launch
+    helper) — both take the kernel as their first argument.
+    """
+
+    _LAUNCH_ATTRS = ("launch", "enqueue")
 
     def __init__(self) -> None:
         self.defs: list[ast.FunctionDef] = []
@@ -142,7 +150,7 @@ class _KernelFinder(ast.NodeVisitor):
         func = node.func
         if (
             isinstance(func, ast.Attribute)
-            and func.attr == "launch"
+            and func.attr in self._LAUNCH_ATTRS
             and node.args
         ):
             target = node.args[0]

@@ -172,12 +172,25 @@ def create_pipeline(
     window_size: int = DEFAULT_WINDOW_GSNP,
     variant: LikelihoodVariant = OPTIMIZED,
     device=None,
+    prefetch: bool | None = None,
+    cache: bool | None = None,
 ) -> Pipeline:
-    """Build the pipeline for an engine through the registry."""
+    """Build the pipeline for an engine through the registry.
+
+    ``prefetch``/``cache`` toggle the throughput engine (double-buffered
+    window streaming / persistent device tables) on pipelines that support
+    them; ``None`` keeps each pipeline's own default.  Registered extension
+    factories keep the legacy 4-argument signature — the toggles are applied
+    as attributes only when the built pipeline exposes them.
+    """
     spec = get_engine_spec(engine)
     if spec.max_window is not None:
         window_size = min(window_size, spec.max_window)
-    return spec.factory(params, window_size, variant, device)
+    pipe = spec.factory(params, window_size, variant, device)
+    for attr, value in (("prefetch", prefetch), ("cache", cache)):
+        if value is not None and hasattr(pipe, attr):
+            setattr(pipe, attr, value)
+    return pipe
 
 
 __all__ = [

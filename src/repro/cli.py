@@ -103,6 +103,20 @@ def main_call(argv=None) -> int:
         help="run the simulated device with the kernel sanitizer enabled "
         "(races, hazards, uninitialized reads, leaks); serial engine only",
     )
+    p.add_argument(
+        "--prefetch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="double-buffered window streaming: decode window N+1 while "
+        "window N computes (results are bitwise identical either way)",
+    )
+    p.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="disable persistent device residency (re-upload score tables "
+        "on every run/shard instead of once per worker)",
+    )
     args = p.parse_args(argv)
 
     det = GsnpDetector.from_files(
@@ -115,6 +129,8 @@ def main_call(argv=None) -> int:
         shard_size=args.shard_size,
         min_quality=args.min_quality,
         sanitize=args.sanitize,
+        prefetch=args.prefetch,
+        cache=args.cache,
     )
     t0 = time.perf_counter()
     result = det.run()
@@ -195,7 +211,36 @@ def main_bench(argv=None) -> int:
         help="run the parallel-scaling benchmark on a tiny dataset and "
         "exit non-zero if any worker count breaks serial parity",
     )
+    p.add_argument(
+        "--e2e",
+        action="store_true",
+        help="measure end-to-end sites/sec with the throughput engine off "
+        "vs on, write BENCH_e2e.json to the output dir, and exit non-zero "
+        "if the two runs' results differ",
+    )
     args = p.parse_args(argv)
+
+    if args.e2e:
+        import json
+        import os
+
+        from .bench.harness import exp_e2e_throughput
+
+        row = exp_e2e_throughput("ch1-sim", fraction=args.fraction)
+        os.makedirs(args.out_dir, exist_ok=True)
+        path = os.path.join(args.out_dir, "BENCH_e2e.json")
+        with open(path, "w") as f:
+            json.dump(row, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(
+            f"{row['dataset']}: {row['n_windows']} windows, baseline "
+            f"{row['baseline']['sites_per_sec']:.0f} sites/s -> optimized "
+            f"{row['optimized']['sites_per_sec']:.0f} sites/s "
+            f"({row['speedup']:.2f}x), "
+            f"consistent={'yes' if row['consistent'] else 'NO'}"
+        )
+        print(f"wrote {path}")
+        return 0 if row["consistent"] else 1
 
     if args.smoke:
         from .bench.harness import exp_parallel_scaling

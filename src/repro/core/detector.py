@@ -141,6 +141,8 @@ class GsnpDetector:
         workers: int = 1,
         shard_size: Optional[int] = None,
         sanitize: bool = False,
+        prefetch: bool = True,
+        cache: bool = True,
     ) -> None:
         self.engine = resolve_engine(engine)
         self.params = params
@@ -150,6 +152,10 @@ class GsnpDetector:
         self.workers = workers
         self.shard_size = shard_size
         self.sanitize = sanitize
+        #: Throughput-engine toggles (double-buffered streaming, persistent
+        #: device tables); results are bitwise identical either way.
+        self.prefetch = prefetch
+        self.cache = cache
         self.dataset: Optional[SimulatedDataset] = None
         self.last_result = None
 
@@ -192,6 +198,8 @@ class GsnpDetector:
                 output_path=output_path,
                 workers=self.workers,
                 shard_size=self.shard_size,
+                prefetch=self.prefetch,
+                cache=self.cache,
             )
         else:
             device = None
@@ -205,9 +213,15 @@ class GsnpDetector:
                 window_size=self.window_size,
                 variant=self.variant,
                 device=device,
+                prefetch=self.prefetch,
+                cache=self.cache,
             )
             result = pipe.run(dataset, output_path=output_path)
             if device is not None:
+                # Resident score tables are intentionally long-lived; drop
+                # them before the strict leak check.
+                if hasattr(pipe, "release_cache"):
+                    pipe.release_cache()
                 device.sanitize_teardown(strict=True)
         self.last_result = result
         return result

@@ -42,7 +42,7 @@ from ..gpusim.memory import DeviceArray
 from ..soapsnp.p_matrix import p_matrix_index
 from ..sortnet.multipass import MULTIPASS_BOUNDS, SortStats, multipass_sort, size_class_of
 from .base_word import canonical_keys, decode_keys, extract_words
-from .score_table import build_new_p_matrix, new_p_index
+from .score_table import build_new_p_matrix, cached_new_p_matrix, new_p_index
 
 # Instruction-accounting constants (per aligned base element); tuned so the
 # counter ratios land near Table III.  They represent addressing, loop and
@@ -83,11 +83,29 @@ class GsnpTables:
     penalty_dev: DeviceArray  # constant memory
 
     @staticmethod
-    def load(device: Device, pm_flat: np.ndarray, penalty: np.ndarray) -> "GsnpTables":
-        """The ``load_table`` component of Figure 2."""
-        newp = build_new_p_matrix(
-            pm_flat.reshape(64, MAX_READ_LEN, 4, 4)
-        )
+    def load(
+        device: Device,
+        pm_flat: np.ndarray,
+        penalty: np.ndarray,
+        cache: bool = True,
+    ) -> "GsnpTables":
+        """The ``load_table`` component of Figure 2.
+
+        With ``cache`` (default), the bundle is made resident on the device
+        keyed by the calibration fingerprint: repeat loads for the same
+        calibration reuse the uploaded tables instead of re-transferring —
+        the paper's keep-hot-tables-resident recipe.  ``cache=False``
+        always builds and uploads fresh (the caller then owns the free).
+        """
+        from ..gpusim.residency import array_fingerprint
+
+        key = None
+        if cache:
+            key = ("gsnp_tables", array_fingerprint(pm_flat, penalty))
+            hit = device.resident.get(key)
+            if hit is not None:
+                return hit
+        newp = cached_new_p_matrix(pm_flat)
         # Both score tables are uploaded regardless of kernel variant (the
         # paper's GSNP keeps them resident); a run using only the
         # new_p_matrix lookup never reads p_matrix, and vice versa.
@@ -96,13 +114,27 @@ class GsnpTables:
         penalty_dev = device.to_constant(penalty.astype(np.int32), "log_table")
         for t in (pm_dev, newp_dev, penalty_dev):
             t.mark_consumed()
-        return GsnpTables(
+        tables = GsnpTables(
             pm_host=pm_flat,
             newp_host=newp,
             penalty_host=penalty.astype(np.int32),
             pm_dev=pm_dev,
             newp_dev=newp_dev,
             penalty_dev=penalty_dev,
+        )
+        if cache:
+            device.resident.put(key, tables, (pm_dev, newp_dev, penalty_dev))
+        return tables
+
+    @staticmethod
+    def upload_bytes(pm_flat: np.ndarray, penalty: np.ndarray) -> int:
+        """PCIe bytes one ``load_table`` upload moves (both score tables
+        plus the constant-memory penalty table) — the analytic charge
+        ``calibrate()`` records without re-building or re-uploading."""
+        return (
+            pm_flat.nbytes
+            + cached_new_p_matrix(pm_flat).nbytes
+            + penalty.astype(np.int32).nbytes
         )
 
     def free(self, device: Device) -> None:

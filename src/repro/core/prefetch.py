@@ -1,0 +1,82 @@
+"""Window-pipeline overlap helpers: input prefetch and output drain.
+
+Two halves of the double-buffered streaming engine:
+
+* :func:`prefetched_windows` wraps a window reader in a
+  :class:`~repro.formats.stream.PrefetchIterator`, so window N+1's
+  ``read_site`` decode runs on a background thread while window N computes.
+* :class:`OutputDrain` moves the output-file append off the compute thread:
+  the pipeline's ``output`` phase still *encodes* each blob (device kernels,
+  fully counted), then hands the bytes here for ordered background writing.
+
+Neither changes results or counters — blobs are written in submission
+order and all event accounting stays on the compute thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Optional
+
+from ..formats.stream import PrefetchIterator
+
+#: Windows decoded ahead of the compute loop (double buffering).
+PREFETCH_DEPTH = 2
+
+
+def prefetched_windows(
+    reader: Iterable, enabled: bool = True, depth: int = PREFETCH_DEPTH
+) -> Iterable:
+    """The reader itself, or its prefetching wrapper when ``enabled``."""
+    if not enabled:
+        return reader
+    return PrefetchIterator(reader, depth=depth)
+
+
+class OutputDrain:
+    """Ordered background writer for encoded result blobs.
+
+    ``submit`` enqueues bytes; a writer thread appends them to ``path`` in
+    submission order.  ``close`` flushes, joins the writer and re-raises
+    any I/O error it hit — so a failed write still fails the run.
+    """
+
+    _SENTINEL = None
+
+    def __init__(self, path, depth: int = 4) -> None:
+        self.path = path
+        self._q: queue.Queue = queue.Queue(maxsize=max(1, depth))
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._write_loop, name="gsnp-output-drain", daemon=True
+        )
+        self._thread.start()
+
+    def _write_loop(self) -> None:
+        try:
+            with open(self.path, "wb") as f:
+                while True:
+                    blob = self._q.get()
+                    if blob is self._SENTINEL:
+                        return
+                    f.write(blob)
+        except BaseException as exc:
+            self._error = exc
+            # Keep draining so submitters never block on a dead writer.
+            while self._q.get() is not self._SENTINEL:
+                pass
+
+    def submit(self, blob: bytes) -> None:
+        """Queue one blob for ordered append."""
+        self._q.put(blob)
+
+    def close(self) -> None:
+        """Flush pending writes; re-raise the writer's error, if any."""
+        self._q.put(self._SENTINEL)
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+
+
+__all__ = ["OutputDrain", "PREFETCH_DEPTH", "prefetched_windows"]

@@ -54,6 +54,11 @@ class ExecConfig:
     backlog: int = 2
     #: Use the serial fallback executor even for ``workers > 1``.
     force_serial: bool = False
+    #: Double-buffered window streaming inside each shard run.
+    prefetch: bool = True
+    #: Persistent device residency: each worker keeps one pipeline (and its
+    #: uploaded score tables) across all the shards it executes.
+    cache: bool = True
     #: Test/chaos hook: shard index -> number of times it must fail.
     inject_failures: Mapping[int, int] = field(default_factory=dict)
 
@@ -77,12 +82,20 @@ def _run_shard(task) -> ShardResult:
         raise PipelineError(
             f"injected failure for {shard} (attempt {attempt + 1})"
         )
-    pipeline = create_pipeline(
-        st["engine"],
-        params=st["params"],
-        window_size=st["window_size"],
-        variant=st["variant"],
-    )
+    pipeline = st.get("pipeline")
+    if pipeline is None:
+        pipeline = create_pipeline(
+            st["engine"],
+            params=st["params"],
+            window_size=st["window_size"],
+            variant=st["variant"],
+            prefetch=st.get("prefetch"),
+            cache=st.get("cache"),
+        )
+        if st.get("cache", True):
+            # Persist across this worker's shards: the device score tables
+            # upload exactly once per worker process.
+            st["pipeline"] = pipeline
     t0 = time.perf_counter()
     result = pipeline.run(
         st["dataset"],
@@ -233,6 +246,8 @@ def execute(
         "variant": variant,
         "dataset": _dataset_without_reads(dataset) if streaming else dataset,
         "calibration": calibration.strip(),
+        "prefetch": config.prefetch,
+        "cache": config.cache,
         "inject": dict(config.inject_failures),
     }
     if streaming:
@@ -275,6 +290,8 @@ def execute(
         "shard_size": shards[0].n_sites if shards else 0,
         "n_shards": len(shards),
         "streaming": streaming,
+        "prefetch": config.prefetch,
+        "cache": config.cache,
         "retries": retries_used,
         "wall": time.perf_counter() - t0,
     }

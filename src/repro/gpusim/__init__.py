@@ -18,8 +18,15 @@ from .costmodel import (
 )
 from .device import Device, TransferLog
 from .kernel import KernelContext
-from .memory import DeviceArray, count_transactions
+from .memory import (
+    DeviceArray,
+    count_transactions,
+    fast_paths_enabled,
+    set_fast_paths,
+)
+from .residency import DeviceResidency, array_fingerprint
 from .spec import BGI_PLATFORM, CpuSpec, DiskSpec, GpuSpec, PlatformSpec
+from .stream import DeviceStream
 
 __all__ = [
     "BGI_PLATFORM",
@@ -29,6 +36,8 @@ __all__ = [
     "CpuSpec",
     "Device",
     "DeviceArray",
+    "DeviceResidency",
+    "DeviceStream",
     "DiskEvents",
     "DiskModel",
     "DiskSpec",
@@ -38,5 +47,8 @@ __all__ = [
     "KernelCounters",
     "PlatformSpec",
     "TransferLog",
+    "array_fingerprint",
     "count_transactions",
+    "fast_paths_enabled",
+    "set_fast_paths",
 ]

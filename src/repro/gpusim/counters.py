@@ -52,6 +52,25 @@ class KernelCounters:
             and self.c_load == 0
         )
 
+    def bump_global(
+        self,
+        load_tx: int = 0,
+        store_tx: int = 0,
+        load_bytes: int = 0,
+        store_bytes: int = 0,
+        inst: int = 0,
+    ) -> None:
+        """Fold one memory op's whole counter delta in a single call.
+
+        The per-access hot path of :class:`~repro.gpusim.kernel.KernelContext`
+        batches its transaction/byte/instruction updates through here.
+        """
+        self.g_load += load_tx
+        self.g_store += store_tx
+        self.g_load_bytes += load_bytes
+        self.g_store_bytes += store_bytes
+        self.inst_warp += inst
+
     def merge(self, other: "KernelCounters") -> None:
         """Fold another counter set into this one.
 

@@ -65,6 +65,11 @@ class Device:
         self._global_used = 0
         self._constant_used = 0
         self._arrays: list[DeviceArray] = []
+        # Keyed cache of allocations that outlive one pipeline run (score
+        # tables etc.); see repro.gpusim.residency.
+        from .residency import DeviceResidency
+
+        self.resident = DeviceResidency(self)
         if self.sanitize:
             from ..analyze.sanitize import Sanitizer
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import KernelError
 from .counters import KernelCounters
+from . import memory as _gmem
 from .memory import DeviceArray, count_transactions
 
 
@@ -46,6 +47,14 @@ class KernelContext:
         self.sanitizer = getattr(device, "sanitizer", None)
         #: Global thread ids, the vector every kernel body indexes with.
         self.tid = np.arange(self.n_threads, dtype=np.int64)
+        # Per-mask-object memo of (mask object, bool vector, active warps).
+        # Kernels reuse one mask across many accesses (the comp kernel's
+        # j-loop issues a dozen ops per mask), so the pad/reshape/any scan
+        # runs once per mask instead of once per access.  The strong
+        # reference pins each memoized mask, so an ``id`` can never be
+        # recycled to a different object; masks must not be mutated in
+        # place between accesses (lockstep kernels build fresh masks).
+        self._mask_memo: dict[int, tuple] = {}
 
     # -- helpers ------------------------------------------------------------
 
@@ -54,20 +63,45 @@ class KernelContext:
         """Number of warps in this launch (ceil division)."""
         return -(-self.n_threads // self.warp_size)
 
-    def _active_warps(self, active: Optional[np.ndarray]) -> int:
-        """Warps with at least one active lane (these issue instructions)."""
+    def _active_info(
+        self, active: Optional[np.ndarray]
+    ) -> tuple[Optional[np.ndarray], int]:
+        """(bool mask or None, active-warp count), memoized per mask object.
+
+        Under the fast paths, a mask with every lane live collapses to
+        ``None``: masking with an all-true vector is the identity, so the
+        downstream ops can take their unmasked shortcut (results and
+        counters are unchanged — every warp has an active lane either way).
+        """
         if active is None:
-            return self.n_warps
+            return None, self.n_warps
+        fast = _gmem._FAST_PATHS
+        if fast:
+            memo = self._mask_memo.get(id(active))
+            if memo is not None and memo[0] is active:
+                return memo[1], memo[2]
         act = np.asarray(active, dtype=bool).ravel()
         if act.size != self.n_threads:
             raise KernelError(
                 f"active mask has {act.size} lanes, launch has "
                 f"{self.n_threads} threads"
             )
-        pad = (-act.size) % self.warp_size
-        if pad:
-            act = np.concatenate([act, np.zeros(pad, dtype=bool)])
-        return int(act.reshape(-1, self.warp_size).any(axis=1).sum())
+        if fast and act.all():
+            out: tuple[Optional[np.ndarray], int] = (None, self.n_warps)
+        else:
+            pad = (-act.size) % self.warp_size
+            padded = act
+            if pad:
+                padded = np.concatenate([act, np.zeros(pad, dtype=bool)])
+            warps = int(padded.reshape(-1, self.warp_size).any(axis=1).sum())
+            out = (act, warps)
+        if fast:
+            self._mask_memo[id(active)] = (active, out[0], out[1])
+        return out
+
+    def _active_warps(self, active: Optional[np.ndarray]) -> int:
+        """Warps with at least one active lane (these issue instructions)."""
+        return self._active_info(active)[1]
 
     def _masked_idx(
         self, idx: np.ndarray, active: Optional[np.ndarray]
@@ -79,8 +113,42 @@ class KernelContext:
                 f"{self.n_threads} threads"
             )
         if active is not None:
-            idx = np.where(np.asarray(active, dtype=bool).ravel(), idx, -1)
+            idx = np.where(self._active_info(active)[0], idx, -1)
         return idx
+
+    def _op_info(
+        self, idx: np.ndarray, active: Optional[np.ndarray]
+    ) -> tuple[np.ndarray, Optional[np.ndarray], int, int]:
+        """Per-access bookkeeping, computed once and shared by the op.
+
+        Returns ``(midx, live, n_live, active_warps)`` where ``live`` is
+        ``None`` when every lane is live (the all-live fast path: no boolean
+        scatter needed).  ``live`` stays materialized whenever the sanitizer
+        runs, since its hooks consume the mask.
+        """
+        act, warps = self._active_info(active)
+        is_tid = idx is self.tid
+        idx = np.asarray(idx, dtype=np.int64).ravel()
+        if idx.size != self.n_threads:
+            raise KernelError(
+                f"index vector has {idx.size} lanes, launch has "
+                f"{self.n_threads} threads"
+            )
+        if act is None:
+            if (
+                _gmem._FAST_PATHS
+                and self.sanitizer is None
+                and idx.size
+                and (is_tid or int(idx.min()) >= 0)
+            ):
+                return idx, None, idx.size, warps
+            live = idx >= 0
+            return idx, live, int(np.count_nonzero(live)), warps
+        # A surviving mask has a dead lane (all-true masks collapsed to
+        # None above), so the all-live shortcut can never apply here.
+        midx = np.where(act, idx, -1)
+        live = midx >= 0
+        return midx, live, int(np.count_nonzero(live)), warps
 
     # -- instruction accounting ----------------------------------------------
 
@@ -132,15 +200,19 @@ class KernelContext:
         lanes receive ``fill``.
         """
         self._check_global(arr)
-        midx = self._masked_idx(idx, active)
+        midx, live, n_live, warps = self._op_info(idx, active)
         tx = count_transactions(
-            midx, arr.itemsize, self.warp_size, self.device.spec.segment_bytes
+            midx, arr.itemsize, self.warp_size,
+            self.device.spec.segment_bytes, all_live=live is None,
         )
-        self.counters.g_load += tx
-        live = midx >= 0
-        self.counters.g_load_bytes += int(live.sum()) * arr.itemsize
-        self.counters.inst_warp += self._active_warps(active)
+        self.counters.bump_global(
+            load_tx=tx, load_bytes=n_live * arr.itemsize, inst=warps
+        )
         flat = arr.flat_view()
+        if live is None:
+            self._bounds_check(arr, midx)
+            arr._kernel_reads += 1
+            return flat[midx]
         self._bounds_check(arr, midx[live])
         arr._kernel_reads += 1
         if self.sanitizer is not None:
@@ -163,17 +235,22 @@ class KernelContext:
         semantics deterministically.
         """
         self._check_global(arr)
-        midx = self._masked_idx(idx, active)
+        midx, live, n_live, warps = self._op_info(idx, active)
         tx = count_transactions(
-            midx, arr.itemsize, self.warp_size, self.device.spec.segment_bytes
+            midx, arr.itemsize, self.warp_size,
+            self.device.spec.segment_bytes, all_live=live is None,
         )
-        self.counters.g_store += tx
-        live = midx >= 0
-        self.counters.g_store_bytes += int(live.sum()) * arr.itemsize
-        self.counters.inst_warp += self._active_warps(active)
+        self.counters.bump_global(
+            store_tx=tx, store_bytes=n_live * arr.itemsize, inst=warps
+        )
         vals = np.broadcast_to(
             np.asarray(values, dtype=arr.dtype), (self.n_threads,)
         )
+        if live is None:
+            self._bounds_check(arr, midx)
+            arr._writes += 1
+            arr.flat_view()[midx] = vals
+            return
         self._bounds_check(arr, midx[live])
         arr._writes += 1
         if self.sanitizer is not None:
@@ -189,21 +266,25 @@ class KernelContext:
     ) -> None:
         """Per-thread atomic add to global memory (np.add.at semantics)."""
         self._check_global(arr)
-        midx = self._masked_idx(idx, active)
+        midx, live, n_live, warps = self._op_info(idx, active)
         tx = count_transactions(
-            midx, arr.itemsize, self.warp_size, self.device.spec.segment_bytes
+            midx, arr.itemsize, self.warp_size,
+            self.device.spec.segment_bytes, all_live=live is None,
         )
         # An atomic RMW costs a load and a store transaction.
-        self.counters.g_load += tx
-        self.counters.g_store += tx
-        live = midx >= 0
-        nbytes = int(live.sum()) * arr.itemsize
-        self.counters.g_load_bytes += nbytes
-        self.counters.g_store_bytes += nbytes
-        self.counters.inst_warp += self._active_warps(active)
+        nbytes = n_live * arr.itemsize
+        self.counters.bump_global(
+            load_tx=tx, store_tx=tx, load_bytes=nbytes, store_bytes=nbytes,
+            inst=warps,
+        )
         vals = np.broadcast_to(
             np.asarray(values, dtype=arr.dtype), (self.n_threads,)
         )
+        if live is None:
+            self._bounds_check(arr, midx)
+            arr._writes += 1
+            np.add.at(arr.flat_view(), midx, vals)
+            return
         self._bounds_check(arr, midx[live])
         arr._writes += 1
         if self.sanitizer is not None:
@@ -225,10 +306,13 @@ class KernelContext:
             raise KernelError(
                 f"cload on array {arr.name!r} in space {arr.space!r}"
             )
-        midx = self._masked_idx(idx, active)
-        live = midx >= 0
-        self.counters.c_load += int(live.sum())
-        self.counters.inst_warp += self._active_warps(active)
+        midx, live, n_live, warps = self._op_info(idx, active)
+        self.counters.c_load += n_live
+        self.counters.inst_warp += warps
+        if live is None:
+            self._bounds_check(arr, midx)
+            arr._kernel_reads += 1
+            return arr.flat_view()[midx]
         self._bounds_check(arr, midx[live])
         arr._kernel_reads += 1
         if self.sanitizer is not None:

@@ -22,12 +22,144 @@ SPACES = ("global", "constant")
 
 _SENTINEL_SEG = np.iinfo(np.int64).max
 
+# -- fast-path switch --------------------------------------------------------
+#
+# The coalescing analysis below has two algebraically-equivalent engines: the
+# reference sentinel-sort (always correct, O(n log w) per call) and fast
+# paths for the access shapes kernels actually issue (monotonic live
+# indices; repeated patterns).  The switch exists so benchmarks can measure
+# the fast engine against the faithful original, and so parity tests can
+# prove both return identical counts on every input.
+
+_FAST_PATHS = True
+_TX_CACHE: dict[tuple, int] = {}
+_TX_CACHE_MAX = 8192
+#: Patterns at most this many lanes are memoized by exact bytes even when
+#: the monotonic path could handle them: small launches are dominated by
+#: per-call overhead, and their index shapes repeat across windows.
+_TX_MEMO_MAX_LANES = 2048
+#: (n, warp_size) -> bool[n-1], True where lane i+1 starts a new warp.
+_BOUNDARY_CACHE: dict[tuple[int, int], np.ndarray] = {}
+
+
+def _warp_boundaries(n: int, warp_size: int) -> np.ndarray:
+    key = (n, warp_size)
+    b = _BOUNDARY_CACHE.get(key)
+    if b is None:
+        b = (np.arange(1, n) % warp_size) == 0
+        if len(_BOUNDARY_CACHE) >= 512:
+            _BOUNDARY_CACHE.clear()
+        _BOUNDARY_CACHE[key] = b
+    return b
+
+
+def set_fast_paths(enabled: bool) -> bool:
+    """Toggle the simulator fast paths; returns the previous setting."""
+    global _FAST_PATHS
+    prev = _FAST_PATHS
+    _FAST_PATHS = bool(enabled)
+    _TX_CACHE.clear()
+    return prev
+
+
+def fast_paths_enabled() -> bool:
+    """Whether the simulator fast paths are currently active."""
+    return _FAST_PATHS
+
+
+def _count_transactions_reference(
+    idx: np.ndarray, itemsize: int, warp_size: int, segment_bytes: int
+) -> int:
+    """The sentinel-sort coalescing analysis (the original algorithm)."""
+    n = idx.size
+    pad = (-n) % warp_size
+    if pad:
+        idx = np.concatenate([idx, np.full(pad, -1, dtype=np.int64)])
+    addr = idx.astype(np.int64) * int(itemsize)
+    seg = addr // int(segment_bytes)
+    seg[idx < 0] = _SENTINEL_SEG
+    seg = seg.reshape(-1, warp_size)
+    seg = np.sort(seg, axis=1)
+    # Distinct runs per row; the sentinel run (inactive lanes) contributes
+    # exactly one run when present, which we subtract back out.
+    distinct = (np.diff(seg, axis=1) != 0).sum(axis=1) + 1
+    distinct = distinct - (seg[:, -1] == _SENTINEL_SEG)
+    return int(distinct.sum())
+
+
+def _count_transactions_scattered_live(
+    idx: np.ndarray, itemsize: int, warp_size: int, segment_bytes: int
+) -> int:
+    """The sentinel-sort analysis specialized for all-live lanes.
+
+    Same result as :func:`_count_transactions_reference` when no index is
+    negative (verified by tests), with the sentinel bookkeeping dropped:
+    only the pad lanes can be dead, and the pad run is exactly one extra
+    distinct value per padded row.
+    """
+    n = idx.size
+    seg = (idx.astype(np.int64, copy=False) * int(itemsize)) // int(
+        segment_bytes
+    )
+    pad = (-n) % warp_size
+    if pad:
+        seg = np.concatenate([seg, np.full(pad, _SENTINEL_SEG, dtype=np.int64)])
+    seg = np.sort(seg.reshape(-1, warp_size), axis=1)
+    changes = int(np.count_nonzero(seg[:, 1:] != seg[:, :-1]))
+    # Each row has (changes-in-row + 1) distinct values; the pad run in the
+    # last row (when present) is one of them and issues no transaction.
+    return changes + seg.shape[0] - (1 if pad else 0)
+
+
+def _count_transactions_monotonic(
+    idx: np.ndarray,
+    itemsize: int,
+    warp_size: int,
+    segment_bytes: int,
+    all_live: bool = False,
+):
+    """Sort-free count when the live indices are monotonic, else ``None``.
+
+    Monotonic live lanes (``ctx.tid``-shaped loads, prefix masks, strided
+    per-thread slots) put equal segments adjacent within each warp, so
+    distinct segments per warp reduce to counting value changes between
+    consecutive live lanes of the same warp — one vectorized pass instead
+    of a per-warp sort.  ``all_live`` (caller-proven: no negative lane)
+    skips liveness extraction and uses a cached warp-boundary mask.
+    """
+    if all_live:
+        k = idx.size
+        if k == 1:
+            return 1
+        lv = idx
+        if not (lv[1:] >= lv[:-1]).all():
+            if not (lv[1:] <= lv[:-1]).all():
+                return None
+        seg = lv * int(itemsize) // int(segment_bytes)
+        new_tx = (seg[1:] != seg[:-1]) | _warp_boundaries(k, warp_size)
+        return 1 + int(np.count_nonzero(new_tx))
+    live_pos = np.nonzero(idx >= 0)[0]
+    k = live_pos.size
+    if k == 0:
+        return 0
+    lv = idx[live_pos].astype(np.int64)
+    if k == 1:
+        return 1
+    if not (lv[1:] >= lv[:-1]).all():
+        if not (lv[1:] <= lv[:-1]).all():
+            return None
+    seg = lv * int(itemsize) // int(segment_bytes)
+    row = live_pos // warp_size
+    new_tx = (row[1:] != row[:-1]) | (seg[1:] != seg[:-1])
+    return 1 + int(new_tx.sum())
+
 
 def count_transactions(
     indices: np.ndarray,
     itemsize: int,
     warp_size: int = 32,
     segment_bytes: int = 128,
+    all_live: bool = False,
 ) -> int:
     """Count the memory transactions a warp-partitioned access generates.
 
@@ -43,6 +175,10 @@ def count_transactions(
         Number of threads per warp (lanes coalesced together).
     segment_bytes:
         Size of one memory transaction segment.
+    all_live:
+        Caller-supplied proof that no index is negative (every lane live);
+        lets the fast engine skip liveness extraction.  Purely an
+        optimization hint — the result is identical without it.
 
     Returns
     -------
@@ -54,19 +190,50 @@ def count_transactions(
     n = idx.size
     if n == 0:
         return 0
-    pad = (-n) % warp_size
-    if pad:
-        idx = np.concatenate([idx, np.full(pad, -1, dtype=np.int64)])
-    addr = idx.astype(np.int64) * int(itemsize)
-    seg = addr // int(segment_bytes)
-    seg[idx < 0] = _SENTINEL_SEG
-    seg = seg.reshape(-1, warp_size)
-    seg = np.sort(seg, axis=1)
-    # Distinct runs per row; the sentinel run (inactive lanes) contributes
-    # exactly one run when present, which we subtract back out.
-    distinct = (np.diff(seg, axis=1) != 0).sum(axis=1) + 1
-    distinct = distinct - (seg[:, -1] == _SENTINEL_SEG)
-    return int(distinct.sum())
+    if not _FAST_PATHS:
+        return _count_transactions_reference(
+            idx, itemsize, warp_size, segment_bytes
+        )
+    key = None
+    if n <= _TX_MEMO_MAX_LANES:
+        # Small launches (scan levels, histogram bins, per-block passes)
+        # are per-call-overhead bound and their index shapes repeat across
+        # windows — memoize every pattern by exact bytes.
+        key = (
+            idx.dtype.str, n, int(itemsize), int(warp_size),
+            int(segment_bytes), idx.tobytes(),
+        )
+        cached = _TX_CACHE.get(key)
+        if cached is not None:
+            return cached
+    total = _count_transactions_monotonic(
+        idx, itemsize, warp_size, segment_bytes, all_live=all_live
+    )
+    if total is None:
+        # Scattered pattern: the sentinel sort is the only correct
+        # analysis; memoize large ones too (gather shapes repeat across
+        # genotype/window iterations).
+        if key is None:
+            key = (
+                idx.dtype.str, n, int(itemsize), int(warp_size),
+                int(segment_bytes), idx.tobytes(),
+            )
+            cached = _TX_CACHE.get(key)
+            if cached is not None:
+                return cached
+        if all_live:
+            total = _count_transactions_scattered_live(
+                idx, itemsize, warp_size, segment_bytes
+            )
+        else:
+            total = _count_transactions_reference(
+                idx, itemsize, warp_size, segment_bytes
+            )
+    if key is not None:
+        if len(_TX_CACHE) >= _TX_CACHE_MAX:
+            _TX_CACHE.clear()
+        _TX_CACHE[key] = total
+    return total
 
 
 class DeviceArray:

@@ -24,6 +24,7 @@ from ..constants import BASE_OCC_SIZE, DEFAULT_WINDOW_SOAPSNP, N_GENOTYPES
 from ..formats.cns import ResultTable, format_rows
 from ..formats.soap import soap_line_bytes
 from ..formats.window import WindowReader
+from ..core.prefetch import prefetched_windows
 from ..seqsim.datasets import SimulatedDataset
 from .base_occ import nonzero_counts
 from .likelihood import window_type_likely
@@ -72,10 +73,13 @@ class SoapsnpPipeline:
         params: Optional[CallingParams] = None,
         window_size: int = DEFAULT_WINDOW_SOAPSNP,
         collect_nnz: bool = False,
+        prefetch: bool = True,
     ) -> None:
         self.params = params
         self.window_size = window_size
         self.collect_nnz = collect_nnz
+        #: Decode window N+1 on a background thread while N computes.
+        self.prefetch = prefetch
 
     def calibrate(
         self, dataset: SimulatedDataset, reads: Optional[AlignmentBatch] = None
@@ -134,12 +138,13 @@ class SoapsnpPipeline:
         reader = WindowReader(
             reads, dataset.n_sites, self.window_size, start=start, stop=stop
         )
+        windows = prefetched_windows(reader, self.prefetch)
         tables: list[ResultTable] = []
         nnz_parts: list[np.ndarray] = [] if self.collect_nnz else None
         output_bytes = 0
         out_f = open(output_path, "wb") if output_path is not None else None
         try:
-            for window in reader:
+            for window in windows:
                 # ---- read_site: second, OS-buffered pass -------------------
                 t0 = time.perf_counter()
                 win_reads = window.reads
