@@ -27,6 +27,11 @@ GSNP104   dropped-active-mask   ``gstore`` / ``gatomic_add`` without an
                                 deliberate full-warp store)
 GSNP105   device-fancy-index    NumPy subscripting of a device array inside
                                 a kernel instead of ``ctx.gload``/``gstore``
+GSNP106   adhoc-fault-site      fault injection outside the chaos registry:
+                                ``fault_point`` with a non-literal or
+                                unregistered site, ad-hoc ``if FAULT:``-style
+                                flags, or ``FAULT``/``CHAOS`` environment
+                                lookups (module-level rule, not kernel-scoped)
 ========  ====================  ==============================================
 
 Suppress a finding on its line with ``# gsnp-lint: disable=GSNP101`` (rule
@@ -50,6 +55,7 @@ RULES: dict[str, str] = {
     "GSNP103": "per-thread-loop",
     "GSNP104": "dropped-active-mask",
     "GSNP105": "device-fancy-index",
+    "GSNP106": "adhoc-fault-site",
 }
 
 _RULE_BY_NAME = {name: rid for rid, name in RULES.items()}
@@ -358,6 +364,119 @@ class _KernelChecker:
             )
 
 
+class _FaultSiteChecker(ast.NodeVisitor):
+    """GSNP106: every fault enters through the chaos registry.
+
+    Module-level (not kernel-scoped).  Flags:
+
+    * ``fault_point(site, ...)`` where ``site`` is not a string literal —
+      the registry cannot be audited statically otherwise;
+    * a literal site not present in :data:`repro.faults.plan.SITES`;
+    * ad-hoc injection flags: an ``if`` test referencing an ALL-CAPS name
+      starting with ``FAULT``/``CHAOS``/``INJECT``;
+    * ``os.environ`` / ``os.getenv`` lookups of ``FAULT``/``CHAOS``/
+      ``INJECT`` keys — environment-driven fault switches are
+      nondeterministic by construction.
+
+    Lowercase uses (``config.faults``, ``inject_failures=...``) are fine:
+    those are the registry's own plumbing, not bypasses.
+    """
+
+    _FLAG_RE = re.compile(r"^(FAULT|CHAOS|INJECT)")
+    _ENV_RE = re.compile(r"FAULT|CHAOS|INJECT", re.IGNORECASE)
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diags: list[Diagnostic] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.diags.append(Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule="GSNP106",
+            message=message,
+        ))
+
+    @staticmethod
+    def _is_environ(node: ast.expr) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "environ"
+
+    def _check_env_key(self, key: Optional[ast.expr], node: ast.AST) -> None:
+        if (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and self._ENV_RE.search(key.value)
+        ):
+            self._flag(
+                node,
+                f"environment-driven fault switch {key.value!r}; schedule "
+                "faults through a FaultPlan and fault_point() instead",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "fault_point":
+            self._check_fault_point(node)
+        elif name == "getenv":
+            self._check_env_key(node.args[0] if node.args else None, node)
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "get"
+            and self._is_environ(func.value)
+        ):
+            self._check_env_key(node.args[0] if node.args else None, node)
+        self.generic_visit(node)
+
+    def _check_fault_point(self, node: ast.Call) -> None:
+        site = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "site":
+                site = kw.value
+        if not (isinstance(site, ast.Constant) and isinstance(site.value, str)):
+            self._flag(
+                node,
+                "fault_point() site must be a string literal from the "
+                "repro.faults.plan.SITES registry (found a computed site)",
+            )
+            return
+        from ..faults.plan import SITES
+
+        if site.value not in SITES:
+            self._flag(
+                node,
+                f"fault_point() site {site.value!r} is not in the "
+                "repro.faults.plan.SITES registry; register it there "
+                "before injecting",
+            )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_environ(node.value):
+            self._check_env_key(node.slice, node)
+        self.generic_visit(node)
+
+    def visit_If(self, node: ast.If) -> None:
+        for n in ast.walk(node.test):
+            nm = None
+            if isinstance(n, ast.Name):
+                nm = n.id
+            elif isinstance(n, ast.Attribute):
+                nm = n.attr
+            if nm and self._FLAG_RE.match(nm) and nm.isupper():
+                self._flag(
+                    n,
+                    f"ad-hoc fault flag {nm!r}; inject through "
+                    "fault_point() at a registered site so schedules stay "
+                    "deterministic and auditable",
+                )
+        self.generic_visit(node)
+
+
 def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
     """Lint one module's source; returns sorted, suppression-filtered
     diagnostics (a syntax error yields a single GSNP100 diagnostic)."""
@@ -380,6 +499,11 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         for d in _KernelChecker(kernel, path).run():
             if not _is_suppressed(d, suppressions):
                 diags.add(d)
+    fault_checker = _FaultSiteChecker(path)
+    fault_checker.visit(tree)
+    for d in fault_checker.diags:
+        if not _is_suppressed(d, suppressions):
+            diags.add(d)
     return sorted(diags)
 
 

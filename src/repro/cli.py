@@ -117,7 +117,38 @@ def main_call(argv=None) -> int:
         help="disable persistent device residency (re-upload score tables "
         "on every run/shard instead of once per worker)",
     )
+    p.add_argument(
+        "--shard-timeout", type=float, default=None,
+        help="per-shard wall-clock deadline in seconds (process pools "
+        "only); an expired shard is killed and retried with backoff",
+    )
+    p.add_argument(
+        "--journal", default=None,
+        help="shard journal directory: commit each completed shard so an "
+        "interrupted run can be resumed",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already committed to --journal; the merged "
+        "output is bitwise identical to an uninterrupted run",
+    )
+    p.add_argument(
+        "--quarantine", default=None,
+        help="append malformed input records (with file:line context) to "
+        "this file and continue, instead of failing the run",
+    )
     args = p.parse_args(argv)
+
+    if args.resume and not args.journal:
+        p.error("--resume requires --journal")
+    if (
+        (args.journal or args.shard_timeout) and args.workers == 1
+        and args.shard_size is None
+    ):
+        # Journalling and deadlines live in the sharded executor; give a
+        # serial invocation enough shards to checkpoint between.
+        args.shard_size = args.window
 
     det = GsnpDetector.from_files(
         args.fasta,
@@ -131,6 +162,10 @@ def main_call(argv=None) -> int:
         sanitize=args.sanitize,
         prefetch=args.prefetch,
         cache=args.cache,
+        shard_timeout=args.shard_timeout,
+        journal_dir=args.journal,
+        resume=args.resume,
+        quarantine=args.quarantine,
     )
     t0 = time.perf_counter()
     result = det.run()
@@ -298,6 +333,49 @@ def main_verify(argv=None) -> int:
     report = verify_engines(ds, window_sizes=windows)
     print(report.summary())
     return 0 if report.passed else 1
+
+
+def main_chaos(argv=None) -> int:
+    """Run the pipeline under a deterministic fault schedule and assert
+    bitwise output parity (crash + truncated record + allocation failure,
+    then kill-mid-stream + resume, then the quarantine rung)."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-chaos", description=main_chaos.__doc__
+    )
+    p.add_argument(
+        "--seeds", default="0",
+        help="comma-separated fault-schedule seeds (one full cycle each)",
+    )
+    p.add_argument("--engine", choices=engine_names(), default="gsnp")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--timeout-demo",
+        action="store_true",
+        help="also inject a stalled shard and recover it via "
+        "--shard-timeout deadline enforcement",
+    )
+    p.add_argument(
+        "--keep-dir", default=None,
+        help="run in this directory and keep the artifacts (default: "
+        "a temporary directory, removed afterwards)",
+    )
+    args = p.parse_args(argv)
+
+    from .faults.chaos import format_report, run_chaos
+
+    ok = True
+    for seed in (int(s) for s in args.seeds.split(",")):
+        report = run_chaos(
+            seed,
+            engine=args.engine,
+            workers=args.workers,
+            timeout_demo=args.timeout_demo,
+            keep_dir=args.keep_dir,
+        )
+        print(format_report(report))
+        ok = ok and report["ok"]
+    print("chaos:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
 
 
 def main_lint(argv=None) -> int:

@@ -69,15 +69,20 @@ def dataset_from_alignments(
 
 
 def dataset_from_files(
-    fasta_path, soap_path, prior_path=None
+    fasta_path, soap_path, prior_path=None, quarantine=None
 ) -> SimulatedDataset:
-    """Parse (fasta, soap[, prior]) input files into a dataset."""
+    """Parse (fasta, soap[, prior]) input files into a dataset.
+
+    With ``quarantine`` set, malformed SOAP records are appended to that
+    file (with ``path:line: reason`` context) and skipped instead of
+    failing the parse.
+    """
     from ..formats.fasta import read_fasta
     from ..formats.prior import read_prior
     from ..formats.soap import read_soap
 
     reference = read_fasta(fasta_path)[0]
-    batch = read_soap(soap_path)
+    batch = read_soap(soap_path, quarantine=quarantine)
     prior = (
         read_prior(prior_path, chrom=reference.name) if prior_path else None
     )
@@ -129,6 +134,20 @@ class GsnpDetector:
         When ``workers > 1`` or a ``shard_size`` is set, runs through the
         sharded parallel executor (:func:`repro.exec.execute`) — output is
         bitwise identical to the serial path.
+    shard_timeout:
+        Per-shard wall-clock deadline in seconds (process pools only); an
+        expired shard is killed and retried with exponential backoff.
+    journal_dir, resume:
+        Crash-safe checkpointing.  With ``journal_dir`` set, every
+        completed shard is committed to a content-hashed journal; with
+        ``resume=True`` a re-run skips committed shards and merges to
+        bitwise-identical output.
+    quarantine:
+        File collecting malformed input records (sharded runs only;
+        applies to the streaming reader).
+    faults:
+        A :class:`~repro.faults.plan.FaultPlan` to run under (chaos
+        testing).
     """
 
     def __init__(
@@ -143,6 +162,11 @@ class GsnpDetector:
         sanitize: bool = False,
         prefetch: bool = True,
         cache: bool = True,
+        shard_timeout: Optional[float] = None,
+        journal_dir=None,
+        resume: bool = False,
+        quarantine=None,
+        faults=None,
     ) -> None:
         self.engine = resolve_engine(engine)
         self.params = params
@@ -156,6 +180,12 @@ class GsnpDetector:
         #: device tables); results are bitwise identical either way.
         self.prefetch = prefetch
         self.cache = cache
+        #: Robustness knobs, forwarded to the sharded executor.
+        self.shard_timeout = shard_timeout
+        self.journal_dir = journal_dir
+        self.resume = resume
+        self.quarantine = quarantine
+        self.faults = faults
         self.dataset: Optional[SimulatedDataset] = None
         self.last_result = None
 
@@ -166,7 +196,9 @@ class GsnpDetector:
         """Build a detector bound to parsed (fasta, soap[, prior]) files;
         its :meth:`run` then needs no dataset argument."""
         det = cls(**kwargs)
-        det.dataset = dataset_from_files(fasta_path, soap_path, prior_path)
+        det.dataset = dataset_from_files(
+            fasta_path, soap_path, prior_path, quarantine=det.quarantine
+        )
         return det
 
     def run(
@@ -200,6 +232,11 @@ class GsnpDetector:
                 shard_size=self.shard_size,
                 prefetch=self.prefetch,
                 cache=self.cache,
+                shard_timeout=self.shard_timeout,
+                journal_dir=self.journal_dir,
+                resume=self.resume,
+                quarantine=self.quarantine,
+                faults=self.faults,
             )
         else:
             device = None

@@ -298,12 +298,19 @@ class GsnpPipeline:
         sort_stats = []
         blobs: list[bytes] = []
         out_f = None
+        out_cm = None
         drain = None
         if output_path is not None:
             if self.prefetch:
                 drain = OutputDrain(output_path)
             else:
-                out_f = open(output_path, "wb")
+                # Same crash-safety as the drain: write <path>.part and
+                # rename only once every window's blob is flushed.
+                from ..faults.journal import atomic_output
+
+                out_cm = atomic_output(output_path)
+                out_f = out_cm.__enter__()
+        out_committed = False
         try:
             for window in windows:
                 frac = window.reads.n_reads / max(total_reads, 1)
@@ -413,15 +420,19 @@ class GsnpPipeline:
                         gsnp_recycle(device, words.size, window.n_sites)
                 if self.mode == "cpu":
                     rec.cpu.seq_write_bytes += words.size * 4 + window.n_sites * 88
-        except BaseException:
+        except BaseException as exc:
             # A failed window can leave partial allocations on the device;
             # drop the persistent residency rather than reuse that device.
             if self.mode == "gpu" and use_cache:
                 self.release_cache()
+            if out_cm is not None:
+                # Abandon the partial .part file — never a torn output.
+                out_committed = True
+                out_cm.__exit__(type(exc), exc, exc.__traceback__)
             raise
         finally:
-            if out_f is not None:
-                out_f.close()
+            if out_cm is not None and not out_committed:
+                out_cm.__exit__(None, None, None)
             if drain is not None:
                 drain.close()
             if self.mode == "gpu" and not use_cache:

@@ -35,11 +35,16 @@ def prefetched_windows(
 
 
 class OutputDrain:
-    """Ordered background writer for encoded result blobs.
+    """Ordered, crash-safe background writer for encoded result blobs.
 
-    ``submit`` enqueues bytes; a writer thread appends them to ``path`` in
-    submission order.  ``close`` flushes, joins the writer and re-raises
-    any I/O error it hit — so a failed write still fails the run.
+    ``submit`` enqueues bytes; a writer thread appends them — in
+    submission order — to a temporary ``<path>.part`` file, which is
+    atomically renamed to ``path`` only when ``close`` has flushed every
+    blob (:func:`repro.faults.journal.atomic_output`).  A run killed at
+    any instant therefore leaves either a complete output file or none;
+    a partial/corrupt result file can never be mistaken for a finished
+    one.  ``close`` re-raises any I/O error the writer hit — a failed
+    write still fails the run, and removes the partial file.
     """
 
     _SENTINEL = None
@@ -54,17 +59,23 @@ class OutputDrain:
         self._thread.start()
 
     def _write_loop(self) -> None:
+        from ..faults.journal import atomic_output
+
+        saw_sentinel = False
         try:
-            with open(self.path, "wb") as f:
+            with atomic_output(self.path) as f:
                 while True:
                     blob = self._q.get()
                     if blob is self._SENTINEL:
+                        saw_sentinel = True
                         return
                     f.write(blob)
         except BaseException as exc:
             self._error = exc
-            # Keep draining so submitters never block on a dead writer.
-            while self._q.get() is not self._SENTINEL:
+            # Keep draining so submitters never block on a dead writer —
+            # unless the failure was the final commit itself, after the
+            # sentinel was already consumed.
+            while not saw_sentinel and self._q.get() is not self._SENTINEL:
                 pass
 
     def submit(self, blob: bytes) -> None:

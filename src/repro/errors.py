@@ -44,6 +44,31 @@ class PipelineError(GsnpError):
     """Raised when pipeline components are used out of order."""
 
 
+class InjectedFault(GsnpError):
+    """A fault deliberately raised by the chaos layer (:mod:`repro.faults`).
+
+    Carries the registered injection ``site`` and the ``key`` (shard
+    index, line number, ...) it fired at, so harnesses can assert which
+    scheduled faults actually triggered.
+    """
+
+    def __init__(self, message: str, *, site: str = "", key=None) -> None:
+        super().__init__(message)
+        self.site = site
+        self.key = key
+
+
+class ShardTimeout(GsnpError):
+    """A shard overran its deadline; the executor killed and retried it."""
+
+    def __init__(
+        self, message: str, *, shard_index: int = -1, deadline: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.deadline = deadline
+
+
 class ShardError(GsnpError):
     """Raised when a shard keeps failing after its retry budget.
 

@@ -9,20 +9,34 @@ dataset shipped once per worker, or stream incrementally from a SOAP file
 (:class:`~repro.formats.stream.ShardBatchReader`) through the bounded
 submission queue, so at most ``workers * backlog`` shard batches are ever
 resident.  Completed shards merge back in genomic order
-(:mod:`repro.exec.merge`); a failing shard is retried up to
-``max_retries`` times and then surfaced as
-:class:`~repro.errors.ShardError` with its genomic range.
+(:mod:`repro.exec.merge`).
+
+Failure handling (exercised deliberately by :mod:`repro.faults`):
+
+* a failing shard is re-dispatched with deterministic, jitter-free
+  exponential backoff (``backoff_base * 2**attempt``) up to
+  ``max_retries`` times, then surfaced as
+  :class:`~repro.errors.ShardError` chaining the last worker exception;
+* with ``shard_timeout`` set (process pools only), a shard that overruns
+  its deadline has its worker killed and is retried like any failure;
+* a worker ``AllocationError`` steps the worker down a degradation rung
+  (residency, prefetch and simulator fast paths off) and re-runs the
+  shard in place — results are bitwise identical either way;
+* with ``journal_dir`` set, every completed shard is checkpointed
+  atomically (:class:`~repro.faults.journal.ShardJournal`); ``resume``
+  skips committed shards on a re-invocation after process death, with a
+  bitwise-identical final merge.
 
 Determinism: shard boundaries are window boundaries and the merge is
 order-restoring, so calls, event counters and compressed bytes are bitwise
-identical to a serial run for all three engines, at any worker count.
+identical to a serial run for all three engines, at any worker count —
+with or without injected faults, retries and resumes.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional
 
@@ -31,7 +45,16 @@ import numpy as np
 from ..api import Engine, create_pipeline, resolve_engine
 from ..constants import DEFAULT_WINDOW_GSNP
 from ..core.likelihood import OPTIMIZED, LikelihoodVariant
-from ..errors import PipelineError, ShardError
+from ..errors import AllocationError, PipelineError, ShardError, ShardTimeout
+from ..faults.degrade import degrade, logger as fault_logger
+from ..faults.journal import ShardJournal, run_fingerprint
+from ..faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    fault_plan,
+    fault_point,
+    scope as fault_scope,
+)
 from ..formats.stream import ShardBatchReader
 from ..align.records import AlignmentBatch
 from ..seqsim.reads import ReadSet
@@ -59,7 +82,23 @@ class ExecConfig:
     #: Persistent device residency: each worker keeps one pipeline (and its
     #: uploaded score tables) across all the shards it executes.
     cache: bool = True
-    #: Test/chaos hook: shard index -> number of times it must fail.
+    #: Per-shard wall-clock deadline in seconds (process pools only): an
+    #: overrunning shard's worker is killed and the shard retried.
+    shard_timeout: Optional[float] = None
+    #: Base of the deterministic, jitter-free retry backoff: a shard's
+    #: k-th retry is delayed ``backoff_base * 2**(k-1)`` seconds.
+    backoff_base: float = 0.02
+    #: Chaos schedule installed in the parent and every worker.
+    faults: Optional[FaultPlan] = None
+    #: Checkpoint directory: completed shards commit here atomically.
+    journal_dir: Optional[str] = None
+    #: Skip shards already committed to ``journal_dir`` by a prior run.
+    resume: bool = False
+    #: Quarantine file for malformed streamed input records (streaming
+    #: mode); ``None`` keeps the fail-fast behaviour.
+    quarantine: Optional[str] = None
+    #: Back-compat shorthand: shard index -> number of times it must fail
+    #: (translated onto the ``exec.shard.error`` fault site).
     inject_failures: Mapping[int, int] = field(default_factory=dict)
 
 
@@ -71,39 +110,69 @@ _WORKER_STATE: dict = {}
 def _init_worker(state: dict) -> None:
     global _WORKER_STATE
     _WORKER_STATE = state
+    from ..faults.plan import install_plan
+
+    install_plan(state.get("faults"))
+
+
+def _make_pipeline(st: dict, *, degraded: bool = False):
+    return create_pipeline(
+        st["engine"],
+        params=st["params"],
+        window_size=st["window_size"],
+        variant=st["variant"],
+        prefetch=False if degraded else st.get("prefetch"),
+        cache=False if degraded else st.get("cache"),
+    )
 
 
 def _run_shard(task) -> ShardResult:
     """Execute one shard in the worker; the unit the pool retries."""
     shard, batch, attempt = task
     st = _WORKER_STATE
-    must_fail = st["inject"].get(shard.index, 0)
-    if attempt < must_fail:
-        raise PipelineError(
-            f"injected failure for {shard} (attempt {attempt + 1})"
+    with fault_scope(shard=shard.index, attempt=attempt):
+        fault_point("exec.worker.crash", key=shard.index)
+        fault_point("exec.shard.error", key=shard.index)
+        fault_point("exec.shard.slow", key=shard.index)
+        pipeline = st.get("pipeline")
+        if pipeline is None:
+            pipeline = _make_pipeline(st)
+            if st.get("cache", True):
+                # Persist across this worker's shards: the device score
+                # tables upload exactly once per worker process.
+                st["pipeline"] = pipeline
+        run_kwargs = dict(
+            site_range=(shard.start, shard.end),
+            calibration=st["calibration"],
+            reads=batch,
         )
-    pipeline = st.get("pipeline")
-    if pipeline is None:
-        pipeline = create_pipeline(
-            st["engine"],
-            params=st["params"],
-            window_size=st["window_size"],
-            variant=st["variant"],
-            prefetch=st.get("prefetch"),
-            cache=st.get("cache"),
-        )
-        if st.get("cache", True):
-            # Persist across this worker's shards: the device score tables
-            # upload exactly once per worker process.
-            st["pipeline"] = pipeline
-    t0 = time.perf_counter()
-    result = pipeline.run(
-        st["dataset"],
-        site_range=(shard.start, shard.end),
-        calibration=st["calibration"],
-        reads=batch,
-    )
-    wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        try:
+            result = pipeline.run(st["dataset"], **run_kwargs)
+        except AllocationError as exc:
+            # Degradation rung: the device could not satisfy the resident
+            # footprint.  Rebuild this worker's pipeline with residency,
+            # prefetch and simulator fast paths disabled and re-run the
+            # shard in place; results are bitwise identical either way.
+            degrade(
+                "device-degraded",
+                action="re-running shard with residency/prefetch/fast "
+                "paths disabled",
+                reason=repr(exc),
+                shard=shard.index,
+                attempt=attempt,
+            )
+            st.pop("pipeline", None)
+            from ..gpusim.memory import set_fast_paths
+
+            prev_fast = set_fast_paths(False)
+            try:
+                with fault_scope(degraded=True):
+                    pipeline = _make_pipeline(st, degraded=True)
+                    result = pipeline.run(st["dataset"], **run_kwargs)
+            finally:
+                set_fast_paths(prev_fast)
+        wall = time.perf_counter() - t0
     return ShardResult(
         shard=shard,
         table=result.table,
@@ -119,26 +188,65 @@ def _run_shard(task) -> ShardResult:
     )
 
 
-def _drain(pool, tasks, max_retries: int, backlog: int):
+def _drain(pool, tasks, config: ExecConfig):
     """Pump tasks through the pool with a bounded in-flight window.
 
     ``tasks`` yields ``(shard, batch_or_None)`` lazily — with a streaming
     source this bounds resident shard batches to ``workers * backlog``.
     Yields :class:`ShardResult` in completion order; re-dispatches failed
-    shards (counting attempts) and raises :class:`ShardError` once a
-    shard exhausts its budget.
+    shards after a deterministic exponential backoff (counting attempts),
+    kills and retries shards that overrun ``shard_timeout``, and raises
+    :class:`ShardError` chaining the last worker exception once a shard
+    exhausts its budget.
     """
-    limit = max(1, pool.workers * backlog)
+    max_retries = config.max_retries
+    limit = max(1, pool.workers * config.backlog)
+    enforce_deadline = (
+        config.shard_timeout is not None and pool.kind == "process"
+    )
+    if config.shard_timeout is not None and not enforce_deadline:
+        fault_logger.info(
+            "shard_timeout=%s ignored: the serial pool executes tasks "
+            "eagerly and cannot preempt a running shard",
+            config.shard_timeout,
+        )
     task_iter = iter(tasks)
     exhausted = False
-    retry_q: deque = deque()
-    in_flight: dict = {}
+    retry_q: list = []  # (ready_at, shard, batch, attempt)
+    in_flight: dict = {}  # handle -> (shard, batch, attempt, deadline)
     retries_used = 0
 
+    def fail(shard, batch, attempt: int, last_exc: BaseException):
+        """Schedule a retry, or give up with the root cause chained."""
+        nonlocal retries_used
+        if attempt >= max_retries:
+            raise ShardError(
+                f"{shard} failed after {attempt + 1} attempts; last "
+                f"error: {last_exc!r}",
+                shard_index=shard.index,
+                site_range=(shard.start, shard.end),
+                attempts=attempt + 1,
+            ) from last_exc
+        delay = config.backoff_base * (2 ** attempt)
+        degrade(
+            "shard-retry",
+            action=f"re-dispatching in {delay:.3f}s "
+            f"(attempt {attempt + 2}/{max_retries + 1})",
+            reason=repr(last_exc),
+            shard=shard.index,
+        )
+        retries_used += 1
+        retry_q.append((time.monotonic() + delay, shard, batch, attempt + 1))
+
     while True:
+        # -- submission: fill the bounded window ---------------------------
         while len(in_flight) < limit:
-            if retry_q:
-                shard, batch, attempt = retry_q.popleft()
+            now = time.monotonic()
+            ready = next(
+                (i for i, e in enumerate(retry_q) if e[0] <= now), None
+            )
+            if ready is not None:
+                _, shard, batch, attempt = retry_q.pop(ready)
             elif not exhausted:
                 try:
                     shard, batch = next(task_iter)
@@ -149,35 +257,72 @@ def _drain(pool, tasks, max_retries: int, backlog: int):
             else:
                 break
             handle = pool.submit(_run_shard, (shard, batch, attempt))
-            in_flight[handle] = (shard, batch, attempt)
+            deadline = (
+                time.monotonic() + config.shard_timeout
+                if enforce_deadline
+                else None
+            )
+            in_flight[handle] = (shard, batch, attempt, deadline)
+
         if not in_flight:
             if exhausted and not retry_q:
                 return retries_used
+            # Nothing running and every retry still backing off: sleep to
+            # the earliest ready time (deterministic schedule, no jitter).
+            wake = min(e[0] for e in retry_q) - time.monotonic()
+            if wake > 0:
+                time.sleep(wake)
             continue
 
-        for handle in pool.wait_any(list(in_flight)):
-            shard, batch, attempt = in_flight.pop(handle)
+        # -- completion wait (bounded by the earliest deadline) ------------
+        timeout = None
+        if enforce_deadline:
+            next_deadline = min(
+                d for (*_, d) in in_flight.values() if d is not None
+            )
+            timeout = max(0.0, next_deadline - time.monotonic())
+        for handle in pool.wait_any(list(in_flight), timeout=timeout):
+            shard, batch, attempt, _dl = in_flight.pop(handle)
             try:
                 kind, value = handle.outcome()
-            except PoolBroken:
+            except PoolBroken as exc:
                 # The worker died outright; rebuild and re-dispatch.
                 pool.restart()
-                kind, value = "err", PipelineError(
+                crash = PipelineError(
                     f"worker process died while executing {shard}"
                 )
+                crash.__cause__ = exc
+                kind, value = "err", crash
             if kind == "ok":
                 yield value
                 continue
-            if attempt >= max_retries:
-                raise ShardError(
-                    f"{shard} failed after {attempt + 1} attempts: "
-                    f"{value!r}",
-                    shard_index=shard.index,
-                    site_range=(shard.start, shard.end),
-                    attempts=attempt + 1,
-                ) from value
-            retries_used += 1
-            retry_q.append((shard, batch, attempt + 1))
+            fail(shard, batch, attempt, value)
+
+        # -- deadline sweep ------------------------------------------------
+        if enforce_deadline:
+            now = time.monotonic()
+            expired = [
+                h
+                for h, (_s, _b, _a, d) in in_flight.items()
+                if d is not None and d <= now
+            ]
+            if expired:
+                for handle in expired:
+                    shard, batch, attempt, _dl = in_flight.pop(handle)
+                    fail(
+                        shard, batch, attempt,
+                        ShardTimeout(
+                            f"{shard} exceeded its "
+                            f"{config.shard_timeout}s deadline "
+                            f"(attempt {attempt + 1})",
+                            shard_index=shard.index,
+                            deadline=config.shard_timeout,
+                        ),
+                    )
+                # The overrunning workers cannot be cancelled cooperatively:
+                # kill the pool.  Collateral in-flight handles surface
+                # PoolBroken above and re-dispatch.
+                pool.kill()
 
 
 def _dataset_without_reads(dataset):
@@ -194,6 +339,21 @@ def _dataset_without_reads(dataset):
         quals=np.empty((0, rs.read_len), dtype=np.uint8),
     )
     return replace(dataset, reads=empty)
+
+
+def _effective_plan(config: ExecConfig) -> Optional[FaultPlan]:
+    """The configured plan, with legacy ``inject_failures`` folded in as
+    ``exec.shard.error`` specs (the registry is the only injection path)."""
+    specs = tuple(
+        FaultSpec(site="exec.shard.error", key=int(idx), times=int(n))
+        for idx, n in sorted(dict(config.inject_failures).items())
+        if n > 0
+    )
+    if not specs:
+        return config.faults
+    if config.faults is None:
+        return FaultPlan(specs)
+    return FaultPlan(config.faults.specs + specs, seed=config.faults.seed)
 
 
 def execute(
@@ -217,14 +377,16 @@ def execute(
     shard inputs to incremental streaming from that SOAP file via
     :class:`~repro.formats.stream.ShardBatchReader`.
 
-    ``config_kwargs`` (``workers=4``, ``shard_size=...``, ...) are a
-    shorthand for building :class:`ExecConfig`.
+    ``config_kwargs`` (``workers=4``, ``shard_size=...``,
+    ``shard_timeout=...``, ``journal_dir=...``, ``resume=True``, ...) are
+    a shorthand for building :class:`ExecConfig`.
     """
     if config is None:
         config = ExecConfig(**config_kwargs)
     elif config_kwargs:
         config = replace(config, **config_kwargs)
     engine = resolve_engine(engine)
+    plan = _effective_plan(config)
 
     # The parent-side pipeline fixes the effective window (registry caps)
     # and runs the one-time calibration pass.
@@ -238,6 +400,30 @@ def execute(
         dataset.n_sites, eff_window, config.shard_size, config.workers
     )
 
+    # Crash-safe checkpointing: the journal is keyed by a fingerprint of
+    # everything that determines shard bytes, so resume can never splice
+    # results from a different input/engine/calibration into the merge.
+    journal = None
+    committed: dict[int, ShardResult] = {}
+    if config.journal_dir is not None:
+        fingerprint = run_fingerprint(
+            str(engine),
+            eff_window,
+            getattr(variant, "name", str(variant)),
+            dataset.n_sites,
+            [(s.start, s.end) for s in shards],
+            calibration,
+        )
+        journal = ShardJournal(config.journal_dir, fingerprint)
+        if config.resume:
+            committed = journal.load(shards)
+            if committed:
+                fault_logger.info(
+                    "resume: %d/%d shards already committed in %s; "
+                    "skipping them",
+                    len(committed), len(shards), journal.dir,
+                )
+
     streaming = soap_path is not None
     state = {
         "engine": str(engine),
@@ -248,7 +434,7 @@ def execute(
         "calibration": calibration.strip(),
         "prefetch": config.prefetch,
         "cache": config.cache,
-        "inject": dict(config.inject_failures),
+        "faults": plan,
     }
     if streaming:
         batches = ShardBatchReader(
@@ -256,33 +442,41 @@ def execute(
             [(s.start, s.end) for s in shards],
             dataset.n_sites,
             chrom=dataset.reference.name,
+            quarantine=config.quarantine,
         )
         tasks = (
             (shard, batch)
             for shard, (_, _, batch) in zip(shards, batches)
+            if shard.index not in committed
         )
     else:
-        tasks = ((shard, None) for shard in shards)
+        tasks = (
+            (shard, None) for shard in shards if shard.index not in committed
+        )
 
     t0 = time.perf_counter()
-    pool = make_pool(
-        config.workers,
-        initializer=_init_worker,
-        initargs=(state,),
-        force_serial=config.force_serial,
-    )
-    try:
-        results: list[ShardResult] = []
-        drain = _drain(pool, tasks, config.max_retries, config.backlog)
-        retries_used = 0
-        while True:
-            try:
-                results.append(next(drain))
-            except StopIteration as stop:
-                retries_used = stop.value or 0
-                break
-    finally:
-        pool.shutdown()
+    results: list[ShardResult] = list(committed.values())
+    retries_used = 0
+    with fault_plan(plan):
+        pool = make_pool(
+            config.workers,
+            initializer=_init_worker,
+            initargs=(state,),
+            force_serial=config.force_serial,
+        )
+        try:
+            drain = _drain(pool, tasks, config)
+            while True:
+                try:
+                    sr = next(drain)
+                except StopIteration as stop:
+                    retries_used = stop.value or 0
+                    break
+                if journal is not None:
+                    journal.commit(sr)
+                results.append(sr)
+        finally:
+            pool.shutdown()
 
     exec_meta = {
         "workers": config.workers,
@@ -293,6 +487,8 @@ def execute(
         "prefetch": config.prefetch,
         "cache": config.cache,
         "retries": retries_used,
+        "resumed": len(committed),
+        "shard_timeout": config.shard_timeout,
         "wall": time.perf_counter() - t0,
     }
     return merge_shard_results(

@@ -18,6 +18,7 @@ import numpy as np
 from ..bench.events import RunProfile
 from ..core.pipeline import GsnpResult
 from ..errors import PipelineError
+from ..faults.journal import atomic_output
 from ..formats.cns import format_rows
 from ..soapsnp.pipeline import SoapsnpResult
 from .shard import ShardResult
@@ -83,7 +84,7 @@ def merge_shard_results(
     if family in ("gsnp", "gsnp_cpu"):
         compressed = b"".join(sr.compressed for sr in results)
         if output_path is not None:
-            with open(output_path, "wb") as f:
+            with atomic_output(output_path) as f:
                 f.write(compressed)
         extras["device"] = None
         extras["peak_gpu_bytes"] = max(
@@ -100,7 +101,7 @@ def merge_shard_results(
         )
 
     if output_path is not None:
-        with open(output_path, "wb") as f:
+        with atomic_output(output_path) as f:
             for sr in results:
                 f.write(format_rows(sr.table))
     nnz_parts = [sr.nnz for sr in results if sr.nnz is not None]

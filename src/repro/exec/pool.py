@@ -1,11 +1,19 @@
 """Worker pools: multiprocessing and an in-process serial fallback.
 
 Both pools expose the same three-call interface — ``submit`` returning a
-handle, ``wait_any`` blocking until at least one handle finishes, and the
-handle's ``outcome()`` reporting ``("ok", value)`` or ``("err", exc)`` —
-so the executor's bounded-queue/retry loop is written once.  A worker
-process that dies outright (not just raises) surfaces as
-:class:`PoolBroken`; the executor restarts the pool and re-dispatches.
+handle, ``wait_any`` blocking until at least one handle finishes (or an
+optional timeout elapses), and the handle's ``outcome()`` reporting
+``("ok", value)`` or ``("err", exc)`` — so the executor's bounded-queue /
+retry loop is written once.  A worker process that dies outright (not
+just raises) surfaces as :class:`PoolBroken`; the executor restarts the
+pool and re-dispatches.  :meth:`ProcessPool.kill` force-terminates the
+workers — the deadline enforcement path for shards that overrun their
+``shard_timeout``.
+
+Falling back from multiprocessing to the serial pool is the first rung of
+the degradation ladder and is never silent: :func:`make_pool` emits a
+structured :class:`~repro.faults.degrade.DegradationWarning` naming the
+exception that broke multiprocessing and the fallback chosen.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ import concurrent.futures as cf
 import multiprocessing
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Optional
+
+from ..faults.degrade import degrade
 
 
 class PoolBroken(RuntimeError):
@@ -38,7 +48,9 @@ class SerialPool:
 
     The fallback when ``workers <= 1`` or when the platform cannot fork:
     the same worker function, initializer, bounded queue and retry logic
-    run in the parent process, one task at a time.
+    run in the parent process, one task at a time.  Tasks execute eagerly
+    at ``submit``, so shard deadlines cannot preempt here — the executor
+    skips deadline enforcement on serial pools.
     """
 
     kind = "serial"
@@ -56,8 +68,18 @@ class SerialPool:
     def submit(self, fn: Callable[[Any], Any], arg: Any) -> _SerialHandle:
         return _SerialHandle(fn, arg)
 
-    def wait_any(self, handles: Iterable[_SerialHandle]) -> list[_SerialHandle]:
+    def wait_any(
+        self,
+        handles: Iterable[_SerialHandle],
+        timeout: Optional[float] = None,
+    ) -> list[_SerialHandle]:
         return list(handles)  # eager execution: everything is already done
+
+    def restart(self) -> None:
+        pass
+
+    def kill(self) -> None:
+        pass
 
     def shutdown(self) -> None:
         pass
@@ -72,6 +94,8 @@ class _ProcessHandle:
             return ("ok", self.future.result())
         except BrokenProcessPool as exc:
             raise PoolBroken(str(exc)) from exc
+        except cf.CancelledError as exc:
+            raise PoolBroken(f"task cancelled by pool restart: {exc}") from exc
         except Exception as exc:  # noqa: BLE001 — forwarded to retry logic
             return ("err", exc)
 
@@ -104,16 +128,39 @@ class ProcessPool:
     def submit(self, fn: Callable[[Any], Any], arg: Any) -> _ProcessHandle:
         return _ProcessHandle(self._executor.submit(fn, arg))
 
-    def wait_any(self, handles: Iterable[_ProcessHandle]) -> list[_ProcessHandle]:
+    def wait_any(
+        self,
+        handles: Iterable[_ProcessHandle],
+        timeout: Optional[float] = None,
+    ) -> list[_ProcessHandle]:
+        """Handles done within ``timeout`` (possibly none on expiry)."""
         handles = list(handles)
         done, _ = cf.wait(
-            [h.future for h in handles], return_when=cf.FIRST_COMPLETED
+            [h.future for h in handles],
+            timeout=timeout,
+            return_when=cf.FIRST_COMPLETED,
         )
         return [h for h in handles if h.future in done]
 
     def restart(self) -> None:
         """Rebuild the pool after a worker crash (in-flight work is lost)."""
         self._executor.shutdown(wait=False, cancel_futures=True)
+        self._start()
+
+    def kill(self) -> None:
+        """Force-terminate every worker, then rebuild.
+
+        The deadline path: a shard that overran its ``shard_timeout`` is
+        running arbitrary code and cannot be cancelled cooperatively, so
+        its process is terminated outright.  Every other in-flight handle
+        surfaces :class:`PoolBroken` and is re-dispatched by the executor.
+        """
+        procs = list(getattr(self._executor, "_processes", {}).values())
+        for p in procs:
+            p.terminate()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        for p in procs:
+            p.join(timeout=5.0)
         self._start()
 
     def shutdown(self) -> None:
@@ -126,12 +173,24 @@ def make_pool(
     initargs: tuple = (),
     force_serial: bool = False,
 ):
-    """Build the right pool: multiprocessing, or the serial fallback."""
+    """Build the right pool: multiprocessing, or the serial fallback.
+
+    The fallback fires only for the two ways a platform can lack working
+    multiprocessing — ``OSError`` (no usable synchronization primitives /
+    insufficient resources) and ``ImportError`` (no ``_multiprocessing``)
+    — and announces itself with a structured warning naming the cause.
+    Anything else (e.g. a ``ValueError`` from a bad ``workers`` count) is
+    a programming error and propagates.
+    """
     if force_serial or workers <= 1:
         return SerialPool(initializer=initializer, initargs=initargs)
     try:
         return ProcessPool(workers, initializer=initializer, initargs=initargs)
-    except (OSError, ImportError, ValueError):
-        # Platforms without working multiprocessing primitives fall back
-        # to the serial executor; results are identical, just slower.
+    except (OSError, ImportError) as exc:
+        degrade(
+            "pool-serial-fallback",
+            action=f"running {workers}-worker job in-process, serially",
+            reason=f"multiprocessing unavailable: {exc!r}",
+            workers=workers,
+        )
         return SerialPool(initializer=initializer, initargs=initargs)

@@ -1,0 +1,50 @@
+"""Chaos engineering layer: deterministic fault injection, crash-safe
+checkpoint/resume, and the graceful-degradation ladder.
+
+Three submodules, importable without pulling in the pipeline:
+
+* :mod:`repro.faults.plan` — the fault-site registry, :class:`FaultSpec`
+  schedules and the seeded, picklable :class:`FaultPlan`;
+* :mod:`repro.faults.degrade` — :class:`DegradationWarning` and the
+  :func:`degrade` reporter for the four ladder rungs;
+* :mod:`repro.faults.journal` — atomic output files, the content-hashed
+  shard journal backing ``--resume``, and run fingerprints.
+
+The ``gsnp-chaos`` harness lives in :mod:`repro.faults.chaos`; it is
+imported lazily (by the CLI) because it drives the full executor stack.
+"""
+
+from .degrade import RUNGS, DegradationWarning, degrade
+from .journal import JournalError, ShardJournal, atomic_output, run_fingerprint
+from .plan import (
+    KINDS,
+    SITES,
+    FaultClock,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_plan,
+    fault_point,
+    install_plan,
+    scope,
+)
+
+__all__ = [
+    "DegradationWarning",
+    "FaultClock",
+    "FaultPlan",
+    "FaultSpec",
+    "JournalError",
+    "KINDS",
+    "RUNGS",
+    "SITES",
+    "ShardJournal",
+    "active_plan",
+    "atomic_output",
+    "degrade",
+    "fault_plan",
+    "fault_point",
+    "install_plan",
+    "run_fingerprint",
+    "scope",
+]

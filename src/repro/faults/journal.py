@@ -1,0 +1,179 @@
+"""Crash-safe checkpointing: the shard journal and atomic file writes.
+
+A whole-genome run is hours of wall clock; process death must cost at most
+one shard, not the run.  :class:`ShardJournal` checkpoints every completed
+:class:`~repro.exec.shard.ShardResult` into a directory of one-file-per-
+shard entries, each written atomically (tmp + ``os.replace``) so a kill at
+any instant leaves either a complete entry or none — never a torn one.
+
+Entries are **content-addressed to the run**: the journal directory is
+keyed by :func:`run_fingerprint`, a hash of everything that determines the
+bytes a shard produces (engine, variant, window size, shard plan, and the
+calibration tables themselves).  ``--resume`` therefore refuses to splice
+a shard from a different input, engine or calibration into the merge —
+a stale journal is simply a miss, and the shard re-executes.
+
+:func:`atomic_output` gives final result files the same guarantee: the
+pipeline writes ``<path>.part`` and the name only flips to ``<path>`` once
+every byte is flushed, so a partial/corrupt CNS file can never be mistaken
+for a finished one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GsnpError
+
+#: Journal format version; bumping invalidates old entries.
+JOURNAL_VERSION = 1
+
+
+def run_fingerprint(
+    engine: str,
+    window_size: int,
+    variant_name: str,
+    n_sites: int,
+    shard_bounds,
+    calibration,
+) -> str:
+    """Hash of everything that determines a shard's output bytes."""
+    h = hashlib.sha256()
+    h.update(f"v{JOURNAL_VERSION}|{engine}|{window_size}|".encode())
+    h.update(f"{variant_name}|{n_sites}|".encode())
+    for start, end in shard_bounds:
+        h.update(f"{start}:{end},".encode())
+    for arr in (calibration.pm_flat, calibration.penalty):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(a.tobytes())
+    h.update(str(calibration.total_reads).encode())
+    return h.hexdigest()[:16]
+
+
+class JournalError(GsnpError):
+    """Raised when a journal entry cannot be trusted or written."""
+
+
+class ShardJournal:
+    """One-file-per-shard checkpoint store under ``root/<fingerprint>/``.
+
+    ``commit`` is atomic and idempotent; ``load`` returns the committed
+    :class:`~repro.exec.shard.ShardResult` objects whose shard ranges
+    match the current plan, silently skipping torn or foreign entries
+    (a torn entry re-executes — it never corrupts the merge).
+    """
+
+    def __init__(self, root, fingerprint: str) -> None:
+        self.fingerprint = fingerprint
+        self.dir = Path(root) / fingerprint
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def _entry_path(self, shard_index: int) -> Path:
+        return self.dir / f"shard-{shard_index:06d}.pkl"
+
+    def commit(self, result) -> Path:
+        """Atomically persist one completed shard result."""
+        path = self._entry_path(result.shard.index)
+        blob = pickle.dumps(
+            {
+                "version": JOURNAL_VERSION,
+                "fingerprint": self.fingerprint,
+                "start": result.shard.start,
+                "end": result.shard.end,
+                "result": result,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        digest = hashlib.sha256(blob).hexdigest().encode()
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as f:
+                f.write(digest + b"\n" + blob)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise JournalError(
+                f"cannot commit shard {result.shard.index} to {path}: {exc}"
+            ) from exc
+        return path
+
+    def _load_entry(self, path: Path) -> Optional[dict]:
+        try:
+            raw = path.read_bytes()
+            digest, _, blob = raw.partition(b"\n")
+            if hashlib.sha256(blob).hexdigest().encode() != digest:
+                return None  # torn/corrupt entry: treat as a miss
+            entry = pickle.loads(blob)
+        except (OSError, pickle.PickleError, EOFError, ValueError):
+            return None
+        if (
+            entry.get("version") != JOURNAL_VERSION
+            or entry.get("fingerprint") != self.fingerprint
+        ):
+            return None
+        return entry
+
+    def load(self, shards) -> dict[int, object]:
+        """Committed results for ``shards`` (index -> ShardResult).
+
+        Only entries whose (start, end) matches the current plan count;
+        anything else is ignored and the shard re-executes.
+        """
+        out: dict[int, object] = {}
+        for shard in shards:
+            entry = self._load_entry(self._entry_path(shard.index))
+            if entry is None:
+                continue
+            if entry["start"] != shard.start or entry["end"] != shard.end:
+                continue
+            out[shard.index] = entry["result"]
+        return out
+
+    def committed_indices(self) -> list[int]:
+        out = []
+        for p in sorted(self.dir.glob("shard-*.pkl")):
+            try:
+                out.append(int(p.stem.split("-")[1]))
+            except (IndexError, ValueError):
+                continue
+        return out
+
+
+@contextmanager
+def atomic_output(path):
+    """Open ``<path>.part`` for binary write; rename to ``path`` only on
+    clean exit.  On error the partial file is removed — a final output
+    file either exists complete or not at all."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".part")
+    f = open(tmp, "wb")
+    try:
+        yield f
+    except BaseException:
+        f.close()
+        tmp.unlink(missing_ok=True)
+        raise
+    else:
+        f.flush()
+        os.fsync(f.fileno())
+        f.close()
+        os.replace(tmp, path)
+
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalError",
+    "ShardJournal",
+    "atomic_output",
+    "run_fingerprint",
+]

@@ -1,0 +1,339 @@
+"""Deterministic fault injection: the registry, the plan and the clock.
+
+Production genomics runs last hours over billions of sites; the only way
+to trust the retry/degradation machinery that keeps such a run alive is to
+exercise it on purpose.  This module is the chaos-engineering substrate:
+
+* :data:`SITES` — the closed registry of named injection points.  Code
+  under test calls :func:`fault_point` at each site; ``gsnp-lint``'s
+  GSNP106 rule enforces that no fault ever enters the system any other
+  way (no ad-hoc ``if FAULT:`` flags).
+* :class:`FaultSpec` — one scheduled fault: *where* (site + key), *when*
+  (which hit ordinals fire) and *what* (crash, error, slow, alloc,
+  truncate).
+* :class:`FaultPlan` — an immutable, picklable schedule of specs plus a
+  :class:`FaultClock` of per-spec hit counters.  Plans are seeded and
+  deterministic: :meth:`FaultPlan.generate` builds the same schedule for
+  the same seed, and firing decisions depend only on hit ordinals — never
+  on wall clock or randomness at fire time.
+
+With no plan installed, :func:`fault_point` is a dictionary lookup and an
+``is None`` test — cheap enough to leave in hot paths permanently.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import AllocationError, InjectedFault
+
+#: The closed registry of injection sites.  ``fault_point`` rejects names
+#: outside this table and GSNP106 flags call sites that bypass it.
+SITES: dict[str, str] = {
+    "exec.worker.crash": "worker process dies mid-shard (pool rebuild path)",
+    "exec.shard.error": "shard body raises a PipelineError (retry path)",
+    "exec.shard.slow": "shard body stalls (deadline/timeout path)",
+    "gpusim.device.alloc": "device allocation raises AllocationError "
+    "(residency/fast-path degradation rung)",
+    "formats.soap.record": "a SOAP input line arrives truncated "
+    "(FormatError with coordinates; quarantine rung)",
+}
+
+#: Fault kinds a spec may schedule at a site.
+KINDS = ("error", "crash", "slow", "alloc", "truncate")
+
+#: Sites whose hit ordinal is the executor's retry attempt (the same shard
+#: may land on different workers between attempts, so a worker-local
+#: counter would re-fire after a crash).  All other sites count hits on
+#: the plan's own clock.
+_ATTEMPT_ORDERED = ("exec.",)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Fires at ``site`` for hits with ordinal in ``[after, after + times)``
+    whose key matches ``key`` (``None`` = any key).  The ordinal is the
+    executor retry attempt for ``exec.*`` sites and the per-spec hit count
+    (from the :class:`FaultClock`) everywhere else.
+    """
+
+    site: str
+    kind: str = "error"
+    key: Optional[object] = None
+    after: int = 0
+    times: int = 1
+    #: ``slow``: stall seconds.  ``truncate``: fraction of bytes kept.
+    arg: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; registered sites: "
+                + ", ".join(sorted(SITES))
+            )
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; valid kinds: "
+                + ", ".join(KINDS)
+            )
+        if self.times < 0 or self.after < 0:
+            raise ValueError("after/times must be non-negative")
+
+    def matches(self, key, ctx: dict) -> bool:
+        if self.key is None:
+            return True
+        return self.key == key or self.key == ctx.get("shard")
+
+    def fires_at(self, ordinal: int) -> bool:
+        return self.after <= ordinal < self.after + self.times
+
+
+class FaultClock:
+    """Per-spec hit counters — the deterministic notion of "when"."""
+
+    def __init__(self, n_specs: int) -> None:
+        self.counts = [0] * n_specs
+
+    def tick(self, spec_idx: int) -> int:
+        """Count one hit for a spec; returns the hit's 0-based ordinal."""
+        n = self.counts[spec_idx]
+        self.counts[spec_idx] = n + 1
+        return n
+
+
+class FaultPlan:
+    """A picklable, seeded schedule of :class:`FaultSpec` entries.
+
+    The plan ships to worker processes inside the executor's worker state;
+    each process installs its copy with :func:`install_plan`.  Ambient
+    context (shard index, retry attempt) is pushed by the executor with
+    :meth:`scope`, so deep sites — a device allocation five frames below
+    the shard body — still fire against the right shard and attempt.
+    """
+
+    def __init__(self, specs=(), seed: Optional[int] = None) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.clock = FaultClock(len(self.specs))
+        self.parent_pid = os.getpid()
+        self._local = threading.local()
+        #: Sites that fired, as (site, key, ordinal, kind) — audit trail.
+        self.fired: list[tuple] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_shards: int,
+        sites=("exec.worker.crash", "exec.shard.error", "gpusim.device.alloc"),
+        max_faults: int = 3,
+    ) -> "FaultPlan":
+        """Seeded random schedule over ``sites`` targeting ``n_shards``.
+
+        Same seed, same schedule — the CI seed matrix replays bit-for-bit.
+        Every generated fault is transient (``times`` ≤ the executor's
+        default retry budget), so a hardened pipeline must absorb all of
+        them and still produce fault-free bytes.
+        """
+        rng = np.random.default_rng(seed)
+        specs = []
+        n = int(rng.integers(1, max_faults + 1))
+        for _ in range(n):
+            site = str(sites[int(rng.integers(0, len(sites)))])
+            shard = int(rng.integers(0, max(1, n_shards)))
+            kind = {
+                "exec.worker.crash": "crash",
+                "exec.shard.error": "error",
+                "exec.shard.slow": "slow",
+                "gpusim.device.alloc": "alloc",
+                "formats.soap.record": "truncate",
+            }[site]
+            specs.append(
+                FaultSpec(
+                    site=site, kind=kind, key=shard,
+                    times=int(rng.integers(1, 3)),
+                    arg=0.05 if kind == "slow" else None,
+                )
+            )
+        return cls(specs, seed=seed)
+
+    def with_spec(self, spec: FaultSpec) -> "FaultPlan":
+        return FaultPlan(self.specs + (spec,), seed=self.seed)
+
+    # -- ambient context ---------------------------------------------------
+
+    @property
+    def ambient(self) -> dict:
+        return getattr(self._local, "ctx", {})
+
+    def scope(self, **ctx):
+        """Context manager installing ambient context for deep sites."""
+        return _Scope(self, ctx)
+
+    def in_worker_process(self) -> bool:
+        return os.getpid() != self.parent_pid
+
+    # -- firing ------------------------------------------------------------
+
+    def check(self, site: str, key, value, ctx: dict):
+        """Run every matching spec for one hit; returns (possibly
+        transformed) ``value``.  Faults raise; ``truncate`` transforms."""
+        eff = {**self.ambient, **ctx}
+        for idx, spec in enumerate(self.specs):
+            if spec.site != site or not spec.matches(key, eff):
+                continue
+            if spec.kind == "alloc" and eff.get("degraded"):
+                # The degraded rerun models a smaller device footprint:
+                # allocation succeeds there, or the ladder could never
+                # terminate.
+                continue
+            if site.startswith(_ATTEMPT_ORDERED) and "attempt" in eff:
+                ordinal = int(eff["attempt"])
+            else:
+                ordinal = self.clock.tick(idx)
+            if not spec.fires_at(ordinal):
+                continue
+            self.fired.append((site, key, ordinal, spec.kind))
+            value = self._fire(spec, site, key, ordinal, value)
+        return value
+
+    def _fire(self, spec: FaultSpec, site: str, key, ordinal: int, value):
+        where = f"{site}[key={key!r}, hit={ordinal}]"
+        if spec.kind == "crash":
+            if self.in_worker_process():
+                # A real worker process dies outright, exactly like a
+                # segfault/OOM-kill: the parent sees a broken pool.
+                os._exit(113)
+            raise InjectedFault(
+                f"injected worker crash at {where}", site=site, key=key
+            )
+        if spec.kind == "alloc":
+            raise AllocationError(f"injected allocation failure at {where}")
+        if spec.kind == "slow":
+            time.sleep(float(spec.arg or 0.05))
+            return value
+        if spec.kind == "truncate":
+            if isinstance(value, (bytes, bytearray)):
+                keep = float(spec.arg) if spec.arg is not None else 0.5
+                return bytes(value[: max(0, int(len(value) * keep))])
+            return value
+        raise InjectedFault(
+            f"injected shard failure at {where}", site=site, key=key
+        )
+
+    # -- pickling (thread-local can't cross process boundaries) ------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_local"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._local = threading.local()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan(seed={self.seed}, specs={list(self.specs)!r})"
+
+
+class _Scope:
+    def __init__(self, plan: FaultPlan, ctx: dict) -> None:
+        self.plan = plan
+        self.ctx = ctx
+
+    def __enter__(self):
+        self._prev = self.plan.ambient
+        self.plan._local.ctx = {**self._prev, **self.ctx}
+        return self
+
+    def __exit__(self, *exc):
+        self.plan._local.ctx = self._prev
+        return False
+
+
+# -- the process-global active plan ---------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` process-wide (``None`` clears); returns the old."""
+    global _ACTIVE
+    prev, _ACTIVE = _ACTIVE, plan
+    return prev
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process-wide installed plan, or ``None``."""
+    return _ACTIVE
+
+
+class fault_plan:
+    """``with fault_plan(plan): ...`` — install for a block, then restore."""
+
+    def __init__(self, plan: Optional[FaultPlan]) -> None:
+        self.plan = plan
+
+    def __enter__(self) -> Optional[FaultPlan]:
+        self._prev = install_plan(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc):
+        install_plan(self._prev)
+        return False
+
+
+def fault_point(site: str, key=None, value=None, **ctx):
+    """The single gate every injected fault passes through.
+
+    Call at a registered site with a stable ``key`` (shard index, line
+    number...).  Returns ``value`` unchanged unless an active plan
+    schedules a ``truncate`` here; scheduled faults raise or stall
+    instead.  With no plan installed this is a no-op.
+    """
+    if site not in SITES:
+        raise ValueError(f"unregistered fault site {site!r}")
+    plan = _ACTIVE
+    if plan is None:
+        return value
+    return plan.check(site, key, value, ctx)
+
+
+def scope(**ctx):
+    """Ambient-context scope on the active plan (no-op without one)."""
+    plan = _ACTIVE
+    if plan is None:
+        return _NullScope()
+    return plan.scope(**ctx)
+
+
+class _NullScope:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+__all__ = [
+    "FaultClock",
+    "FaultPlan",
+    "FaultSpec",
+    "KINDS",
+    "SITES",
+    "active_plan",
+    "fault_plan",
+    "fault_point",
+    "install_plan",
+    "scope",
+]

@@ -57,31 +57,51 @@ def read_fastq(path: str | Path) -> tuple[np.ndarray, np.ndarray, list[str]]:
     with open(path, "rb") as f:
         lines = f.read().splitlines()
     if len(lines) % 4:
-        raise FormatError(f"{path}: FASTQ record count not a multiple of 4")
+        raise FormatError(
+            f"{path}:{len(lines)}: FASTQ line count not a multiple of 4 "
+            f"(truncated record {len(lines) // 4}?)"
+        )
     read_len = 0
     for r in range(0, len(lines), 4):
+        # 1-based line of the record's '@' header, for operator coordinates.
+        line = r + 1
         header, seq, plus, qual = lines[r : r + 4]
         if not header.startswith(b"@"):
-            raise FormatError(f"{path}: record {r // 4}: missing '@' header")
+            raise FormatError(
+                f"{path}:{line}: record {r // 4}: missing '@' header"
+            )
         if not plus.startswith(b"+"):
-            raise FormatError(f"{path}: record {r // 4}: missing '+' line")
+            raise FormatError(
+                f"{path}:{line + 2}: record {r // 4}: missing '+' line"
+            )
         codes = base_lut[np.frombuffer(seq, dtype=np.uint8)]
         if (codes == 255).any():
-            raise FormatError(f"{path}: record {r // 4}: invalid base")
+            bad = seq[int(np.argmax(codes == 255))]
+            raise FormatError(
+                f"{path}:{line + 1}: record {r // 4}: invalid base "
+                f"{chr(bad)!r}"
+            )
         q = np.frombuffer(qual, dtype=np.uint8).astype(np.int16) - QUAL_OFFSET
         if (q < 0).any() or (q >= 64).any():
-            raise FormatError(f"{path}: record {r // 4}: quality out of range")
+            raise FormatError(
+                f"{path}:{line + 3}: record {r // 4}: quality out of range "
+                f"[0, 64) (Phred+{QUAL_OFFSET})"
+            )
         if codes.size != q.size:
             raise FormatError(
-                f"{path}: record {r // 4}: seq/qual length mismatch"
+                f"{path}:{line + 1}: record {r // 4}: seq/qual length "
+                f"mismatch ({codes.size} vs {q.size})"
             )
         if read_len == 0:
             read_len = codes.size
         elif codes.size != read_len:
-            raise FormatError(f"{path}: mixed read lengths not supported")
+            raise FormatError(
+                f"{path}:{line + 1}: record {r // 4}: mixed read lengths "
+                f"not supported (expected {read_len}, got {codes.size})"
+            )
         names.append(header[1:].decode())
         bases_l.append(codes)
         quals_l.append(q.astype(np.uint8))
     if not bases_l:
-        raise FormatError(f"{path}: empty FASTQ")
+        raise FormatError(f"{path}:1: empty FASTQ")
     return np.vstack(bases_l), np.vstack(quals_l), names

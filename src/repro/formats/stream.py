@@ -23,40 +23,9 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from ..align.records import AlignmentBatch
-from ..constants import BASES
 from ..errors import FormatError, PipelineError
-from .soap import QUAL_OFFSET
+from .soap import parse_soap_record, quarantine_record
 from .window import Window
-
-_BASE_LUT = np.full(256, 255, dtype=np.uint8)
-for _i, _b in enumerate(BASES):
-    _BASE_LUT[ord(_b)] = _i
-
-
-def _parse_line(raw: bytes, lineno: int, path) -> tuple:
-    parts = raw.split(b"\t")
-    if len(parts) != 8:
-        raise FormatError(
-            f"{path}:{lineno}: expected 8 fields, got {len(parts)}"
-        )
-    _, seq, qual, n_hits, length, strand, _chrom, pos = parts
-    codes = _BASE_LUT[np.frombuffer(seq, dtype=np.uint8)]
-    if (codes == 255).any():
-        raise FormatError(f"{path}:{lineno}: invalid base in read")
-    q = np.frombuffer(qual, dtype=np.uint8).astype(np.int16) - QUAL_OFFSET
-    if (q < 0).any() or (q >= 64).any():
-        raise FormatError(f"{path}:{lineno}: quality out of range")
-    if int(length) != codes.size or codes.size != q.size:
-        raise FormatError(f"{path}:{lineno}: length mismatch")
-    if strand not in (b"+", b"-"):
-        raise FormatError(f"{path}:{lineno}: bad strand {strand!r}")
-    return (
-        int(pos) - 1,
-        0 if strand == b"+" else 1,
-        min(int(n_hits), 255),
-        codes,
-        q.astype(np.uint8),
-    )
 
 
 class _SoapRecordStream:
@@ -69,11 +38,16 @@ class _SoapRecordStream:
     shard-granularity :class:`ShardBatchReader`.
     """
 
-    def __init__(self, f, path, n_sites: int, chrom: str | None) -> None:
+    def __init__(
+        self, f, path, n_sites: int, chrom: str | None,
+        quarantine=None,
+    ) -> None:
         self._lines = enumerate(f, 1)
         self.path = path
         self.n_sites = n_sites
         self.chrom = chrom or ""
+        self.quarantine = quarantine
+        self.n_quarantined = 0
         self.read_len = 0
         self.bytes_read = 0
         self.pending: list[tuple] = []
@@ -93,9 +67,18 @@ class _SoapRecordStream:
             raw = raw.rstrip(b"\n")
             if not raw:
                 continue
+            try:
+                rec = parse_soap_record(raw, lineno, self.path)
+            except FormatError as exc:
+                if self.quarantine is None:
+                    raise
+                quarantine_record(
+                    self.quarantine, self.path, lineno, raw, str(exc)
+                )
+                self.n_quarantined += 1
+                continue
             if not self.chrom:
                 self.chrom = raw.split(b"\t")[6].decode()
-            rec = _parse_line(raw, lineno, self.path)
             if rec[0] < self._last_pos:
                 raise FormatError(
                     f"{self.path}:{lineno}: positions not sorted"
@@ -203,6 +186,9 @@ class StreamingSoapReader:
     chrom:
         Chromosome name stamped on emitted batches (defaults to the file's
         seventh column of the first record).
+    quarantine:
+        Optional quarantine file: malformed records are appended there
+        (with coordinates) and skipped instead of aborting the stream.
     """
 
     def __init__(
@@ -211,6 +197,7 @@ class StreamingSoapReader:
         n_sites: int,
         window_size: int,
         chrom: str | None = None,
+        quarantine=None,
     ) -> None:
         if window_size <= 0:
             raise PipelineError("window size must be positive")
@@ -218,6 +205,7 @@ class StreamingSoapReader:
         self.n_sites = n_sites
         self.window_size = window_size
         self.chrom = chrom
+        self.quarantine = quarantine
         self.bytes_read = 0
 
     @property
@@ -226,7 +214,10 @@ class StreamingSoapReader:
 
     def __iter__(self) -> Iterator[Window]:
         with open(self.path, "rb") as f:
-            rs = _SoapRecordStream(f, self.path, self.n_sites, self.chrom)
+            rs = _SoapRecordStream(
+                f, self.path, self.n_sites, self.chrom,
+                quarantine=self.quarantine,
+            )
             for w in range(self.n_windows):
                 start = w * self.window_size
                 end = min(start + self.window_size, self.n_sites)
@@ -259,11 +250,13 @@ class ShardBatchReader:
         ranges,
         n_sites: int,
         chrom: str | None = None,
+        quarantine=None,
     ) -> None:
         self.path = Path(path)
         self.ranges = list(ranges)
         self.n_sites = n_sites
         self.chrom = chrom
+        self.quarantine = quarantine
         self.bytes_read = 0
         last = 0
         for start, end in self.ranges:
@@ -276,7 +269,10 @@ class ShardBatchReader:
 
     def __iter__(self) -> Iterator[tuple[int, int, AlignmentBatch]]:
         with open(self.path, "rb") as f:
-            rs = _SoapRecordStream(f, self.path, self.n_sites, self.chrom)
+            rs = _SoapRecordStream(
+                f, self.path, self.n_sites, self.chrom,
+                quarantine=self.quarantine,
+            )
             for start, end in self.ranges:
                 rs.pull_past(end)
                 overlap = rs.take_overlapping(start, end)

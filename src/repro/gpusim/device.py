@@ -14,6 +14,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..errors import AllocationError, DeviceError
+from ..faults.plan import fault_point
 from .counters import CounterBook, KernelCounters
 from .kernel import KernelContext
 from .memory import DeviceArray
@@ -164,6 +165,10 @@ class Device:
     def _register(
         self, arr: DeviceArray, initialized: bool = True
     ) -> DeviceArray:
+        # Chaos site: a scheduled plan can make this allocation fail with
+        # AllocationError, exercising the degradation rung that re-runs
+        # the shard with residency/fast paths disabled.
+        fault_point("gpusim.device.alloc", key=arr.name)
         if arr.space == "global":
             if (
                 self.enforce_memory

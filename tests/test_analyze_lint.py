@@ -319,6 +319,87 @@ class TestPathsAndFilters:
         assert lint_paths(["src/repro"]) == []
 
 
+class TestGsnp106FaultSites:
+    """Fault injection must go through the chaos registry."""
+
+    def test_computed_site_flagged(self):
+        diags = _lint(
+            """
+            from repro.faults.plan import fault_point
+            site = "exec." + "shard.error"
+            fault_point(site, key=1)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP106"]
+        assert "string literal" in diags[0].message
+
+    def test_unregistered_literal_site_flagged(self):
+        diags = _lint(
+            """
+            from repro.faults.plan import fault_point
+            fault_point("formats.vcf.record", key=1)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP106"]
+        assert "formats.vcf.record" in diags[0].message
+
+    def test_registered_site_is_fine(self):
+        diags = _lint(
+            """
+            from repro.faults.plan import fault_point
+            fault_point("exec.shard.error", key=1)
+            fault_point(site="gpusim.device.alloc", key="buf")
+            """
+        )
+        assert diags == []
+
+    def test_adhoc_fault_flag_flagged(self):
+        diags = _lint(
+            """
+            FAULT_CRASH = True
+            def f():
+                if FAULT_CRASH:
+                    raise RuntimeError
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP106"]
+        assert "FAULT_CRASH" in diags[0].message
+
+    def test_environment_switch_flagged(self):
+        diags = _lint(
+            """
+            import os
+            a = os.environ.get("GSNP_CHAOS")
+            b = os.environ["FAULT_MODE"]
+            c = os.getenv("INJECT_ALLOC")
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP106"] * 3
+
+    def test_lowercase_plumbing_is_fine(self):
+        diags = _lint(
+            """
+            import os
+            def run(config, inject_failures=None):
+                if config.faults:
+                    pass
+                if inject_failures:
+                    pass
+                return os.environ.get("HOME")
+            """
+        )
+        assert diags == []
+
+    def test_suppression_comment_works(self):
+        diags = _lint(
+            """
+            import os
+            x = os.getenv("FAULT_LEGACY")  # gsnp-lint: disable=GSNP106
+            """
+        )
+        assert diags == []
+
+
 class TestDiagnostic:
     def test_format_is_file_line_col(self):
         d = Diagnostic(path="x.py", line=3, col=5,
@@ -327,5 +408,6 @@ class TestDiagnostic:
 
     def test_rule_table_complete(self):
         assert set(RULES) == {
-            "GSNP100", "GSNP101", "GSNP102", "GSNP103", "GSNP104", "GSNP105"
+            "GSNP100", "GSNP101", "GSNP102", "GSNP103", "GSNP104",
+            "GSNP105", "GSNP106",
         }
