@@ -32,6 +32,11 @@ GSNP106   adhoc-fault-site      fault injection outside the chaos registry:
                                 unregistered site, ad-hoc ``if FAULT:``-style
                                 flags, or ``FAULT``/``CHAOS`` environment
                                 lookups (module-level rule, not kernel-scoped)
+GSNP107   fusable-in-window-loop  a launcher registered in
+                                ``repro.gpusim.launchplan.FUSABLE_LAUNCHERS``
+                                called inside a per-window loop — per-window
+                                kernel chains belong on the fused megabatch
+                                path (module-level rule, not kernel-scoped)
 ========  ====================  ==============================================
 
 Suppress a finding on its line with ``# gsnp-lint: disable=GSNP101`` (rule
@@ -56,6 +61,7 @@ RULES: dict[str, str] = {
     "GSNP104": "dropped-active-mask",
     "GSNP105": "device-fancy-index",
     "GSNP106": "adhoc-fault-site",
+    "GSNP107": "fusable-in-window-loop",
 }
 
 _RULE_BY_NAME = {name: rid for rid, name in RULES.items()}
@@ -477,6 +483,67 @@ class _FaultSiteChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _FusableLoopChecker(ast.NodeVisitor):
+    """GSNP107: fusable launchers must not run once per window.
+
+    Module-level (not kernel-scoped).  A *window loop* is a ``for`` whose
+    target binds a window-like name (``for window in ...``) or whose
+    iterable is a bare name/attribute containing ``window``
+    (``for w in windows``).  Calls inside such a loop to any launcher in
+    :data:`repro.gpusim.launchplan.FUSABLE_LAUNCHERS` are flagged: that
+    device work has a megabatch equivalent on the fused path, and a
+    per-window launch chain silently reintroduces the launch-granularity
+    cost the launch-plan scheduler exists to remove.  The reference
+    per-window pipeline (kept as the fusion parity baseline) carries
+    explicit suppressions.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diags: list[Diagnostic] = []
+
+    @staticmethod
+    def _is_window_loop(node: ast.For) -> bool:
+        names = [
+            n.id for n in ast.walk(node.target) if isinstance(n, ast.Name)
+        ]
+        it = node.iter
+        if isinstance(it, ast.Name):
+            names.append(it.id)
+        elif isinstance(it, ast.Attribute):
+            names.append(it.attr)
+        return any("window" in nm.lower() for nm in names)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_window_loop(node):
+            from ..gpusim.launchplan import FUSABLE_LAUNCHERS
+
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                name = None
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if name in FUSABLE_LAUNCHERS:
+                    self.diags.append(Diagnostic(
+                        path=self.path,
+                        line=getattr(sub, "lineno", node.lineno),
+                        col=getattr(sub, "col_offset", 0) + 1,
+                        rule="GSNP107",
+                        message=(
+                            f"fusable launcher '{name}' called inside a "
+                            "per-window loop; route this work through the "
+                            "megabatch launch plan "
+                            "(repro.gpusim.launchplan) instead of "
+                            "launching once per window"
+                        ),
+                    ))
+        self.generic_visit(node)
+
+
 def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
     """Lint one module's source; returns sorted, suppression-filtered
     diagnostics (a syntax error yields a single GSNP100 diagnostic)."""
@@ -499,11 +566,11 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         for d in _KernelChecker(kernel, path).run():
             if not _is_suppressed(d, suppressions):
                 diags.add(d)
-    fault_checker = _FaultSiteChecker(path)
-    fault_checker.visit(tree)
-    for d in fault_checker.diags:
-        if not _is_suppressed(d, suppressions):
-            diags.add(d)
+    for checker in (_FaultSiteChecker(path), _FusableLoopChecker(path)):
+        checker.visit(tree)
+        for d in checker.diags:
+            if not _is_suppressed(d, suppressions):
+                diags.add(d)
     return sorted(diags)
 
 

@@ -174,20 +174,30 @@ def create_pipeline(
     device=None,
     prefetch: bool | None = None,
     cache: bool | None = None,
+    fusion: bool | None = None,
+    megabatch: int | None = None,
 ) -> Pipeline:
     """Build the pipeline for an engine through the registry.
 
     ``prefetch``/``cache`` toggle the throughput engine (double-buffered
-    window streaming / persistent device tables) on pipelines that support
-    them; ``None`` keeps each pipeline's own default.  Registered extension
-    factories keep the legacy 4-argument signature — the toggles are applied
-    as attributes only when the built pipeline exposes them.
+    window streaming / persistent device tables) and ``fusion``/
+    ``megabatch`` the ragged-megabatch launch plan on pipelines that
+    support them; ``None`` keeps each pipeline's own default.  Registered
+    extension factories keep the legacy 4-argument signature — the
+    toggles are applied as attributes only when the built pipeline
+    exposes them.
     """
     spec = get_engine_spec(engine)
     if spec.max_window is not None:
         window_size = min(window_size, spec.max_window)
     pipe = spec.factory(params, window_size, variant, device)
-    for attr, value in (("prefetch", prefetch), ("cache", cache)):
+    toggles = (
+        ("prefetch", prefetch),
+        ("cache", cache),
+        ("fusion", fusion),
+        ("megabatch", megabatch),
+    )
+    for attr, value in toggles:
         if value is not None and hasattr(pipe, attr):
             setattr(pipe, attr, value)
     return pipe

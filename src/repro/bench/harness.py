@@ -36,7 +36,8 @@ from ..core.likelihood import (
     gsnp_likelihood_comp,
     gsnp_likelihood_sort,
 )
-from ..core.pipeline import CPU_COMPRESS_BW, GsnpPipeline
+from ..core.pipeline import GsnpPipeline
+from ..gpusim.spec import CPU_COMPRESS_BW
 from ..formats.cns import format_rows
 from ..formats.soap import soap_line_bytes
 from ..formats.window import Window
@@ -552,13 +553,18 @@ def exp_e2e_throughput(
 ) -> dict:
     """End-to-end wall-clock of the throughput engine vs the legacy path.
 
-    Runs the same multi-window GSNP job two ways: *baseline* with
+    Runs the same multi-window GSNP job three ways: *baseline* with
     prefetching, persistent residency, and the simulator's coalescing fast
-    paths all disabled (the pre-engine behavior), then *optimized* with all
-    three enabled.  Each arm reports its best of ``repeats`` runs (the
-    steady-state number — repeat runs are where persistent residency pays).
-    Reports sites/sec both ways, the speedup, and whether calls and
-    compressed bytes are bitwise identical (they must be).
+    paths all disabled (the pre-engine behavior), *optimized* with all
+    three enabled, and *fused* adding the ragged-megabatch launch plan on
+    top of the optimized arm.  Each arm reports its best of ``repeats``
+    runs (the steady-state number — repeat runs are where persistent
+    residency pays).  Kernel launch counts per arm come from dedicated
+    fresh single runs (no cache, no prefetch) so the device counter
+    reflects exactly one pass over the dataset.  Reports sites/sec all
+    three ways, the speedups, the launch reduction from fusion, and
+    whether calls and compressed bytes are bitwise identical across every
+    arm (they must be).
     """
     from ..gpusim.memory import set_fast_paths
 
@@ -568,11 +574,14 @@ def exp_e2e_throughput(
         window_size = max(ds.n_sites // 16, 256)
     window = min(effective_window("gsnp", window_size), ds.n_sites)
 
-    def run_once(prefetch: bool, cache: bool, fast: bool):
+    def run_once(
+        prefetch: bool, cache: bool, fast: bool, fusion: bool = False
+    ):
         prev = set_fast_paths(fast)
         try:
             pipe = create_pipeline(
-                "gsnp", window_size=window, prefetch=prefetch, cache=cache
+                "gsnp", window_size=window, prefetch=prefetch,
+                cache=cache, fusion=fusion,
             )
             best, result = None, None
             for _ in range(max(1, repeats)):
@@ -586,8 +595,27 @@ def exp_e2e_throughput(
         finally:
             set_fast_paths(prev)
 
+    def count_launches(fusion: bool) -> int:
+        # Fresh single run, no residency or prefetch, so the device's
+        # cumulative launch counter is exactly one pass over the dataset.
+        prev = set_fast_paths(True)
+        try:
+            pipe = create_pipeline(
+                "gsnp", window_size=window, prefetch=False,
+                cache=False, fusion=fusion,
+            )
+            res = pipe.run(ds)
+            return int(res.extras["device"].counters.total().launches)
+        finally:
+            set_fast_paths(prev)
+
     base_res, base_wall = run_once(prefetch=False, cache=False, fast=False)
     opt_res, opt_wall = run_once(prefetch=True, cache=True, fast=True)
+    fus_res, fus_wall = run_once(
+        prefetch=True, cache=True, fast=True, fusion=True
+    )
+    opt_launches = count_launches(fusion=False)
+    fus_launches = count_launches(fusion=True)
     n_sites = ds.n_sites
     return {
         "dataset": name,
@@ -602,10 +630,25 @@ def exp_e2e_throughput(
         "optimized": {
             "wall": opt_wall,
             "sites_per_sec": n_sites / opt_wall if opt_wall > 0 else 0.0,
+            "launches": opt_launches,
+        },
+        "fused": {
+            "wall": fus_wall,
+            "sites_per_sec": n_sites / fus_wall if fus_wall > 0 else 0.0,
+            "launches": fus_launches,
         },
         "speedup": base_wall / opt_wall if opt_wall > 0 else 0.0,
+        "speedup_fused": base_wall / fus_wall if fus_wall > 0 else 0.0,
+        "speedup_fused_vs_optimized": (
+            opt_wall / fus_wall if fus_wall > 0 else 0.0
+        ),
+        "launch_reduction": (
+            opt_launches / fus_launches if fus_launches > 0 else 0.0
+        ),
         "consistent": (
             opt_res.table.equals(base_res.table)
             and opt_res.compressed_output == base_res.compressed_output
+            and fus_res.table.equals(base_res.table)
+            and fus_res.compressed_output == base_res.compressed_output
         ),
     }

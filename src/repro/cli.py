@@ -118,6 +118,14 @@ def main_call(argv=None) -> int:
         "on every run/shard instead of once per worker)",
     )
     p.add_argument(
+        "--fusion",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="fused ragged-megabatch launching: concatenate windows into "
+        "one launch plan so each kernel chain launches once per megabatch "
+        "(gsnp engine only; results are bitwise identical either way)",
+    )
+    p.add_argument(
         "--shard-timeout", type=float, default=None,
         help="per-shard wall-clock deadline in seconds (process pools "
         "only); an expired shard is killed and retried with backoff",
@@ -162,6 +170,7 @@ def main_call(argv=None) -> int:
         sanitize=args.sanitize,
         prefetch=args.prefetch,
         cache=args.cache,
+        fusion=args.fusion,
         shard_timeout=args.shard_timeout,
         journal_dir=args.journal,
         resume=args.resume,
@@ -250,8 +259,9 @@ def main_bench(argv=None) -> int:
         "--e2e",
         action="store_true",
         help="measure end-to-end sites/sec with the throughput engine off "
-        "vs on, write BENCH_e2e.json to the output dir, and exit non-zero "
-        "if the two runs' results differ",
+        "vs on vs fused, write BENCH_e2e.json to the output dir, and exit "
+        "non-zero if any arm's results differ or fusion does not reduce "
+        "kernel launches",
     )
     args = p.parse_args(argv)
 
@@ -271,11 +281,22 @@ def main_bench(argv=None) -> int:
             f"{row['dataset']}: {row['n_windows']} windows, baseline "
             f"{row['baseline']['sites_per_sec']:.0f} sites/s -> optimized "
             f"{row['optimized']['sites_per_sec']:.0f} sites/s "
-            f"({row['speedup']:.2f}x), "
+            f"({row['speedup']:.2f}x) -> fused "
+            f"{row['fused']['sites_per_sec']:.0f} sites/s "
+            f"({row['speedup_fused']:.2f}x, "
+            f"{row['speedup_fused_vs_optimized']:.2f}x over optimized), "
             f"consistent={'yes' if row['consistent'] else 'NO'}"
         )
+        print(
+            f"kernel launches: {row['optimized']['launches']} unfused -> "
+            f"{row['fused']['launches']} fused "
+            f"({row['launch_reduction']:.1f}x fewer)"
+        )
         print(f"wrote {path}")
-        return 0 if row["consistent"] else 1
+        launches_down = (
+            row["fused"]["launches"] < row["optimized"]["launches"]
+        )
+        return 0 if (row["consistent"] and launches_down) else 1
 
     if args.smoke:
         from .bench.harness import exp_parallel_scaling

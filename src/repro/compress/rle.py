@@ -38,8 +38,13 @@ def rle_decode(
 
 
 def mean_run_length(values: np.ndarray) -> float:
-    """Average run length of a column (diagnostic for codec choice)."""
-    v, _ = rle_encode(values)
-    if v.size == 0:
+    """Average run length of a column (diagnostic for codec choice).
+
+    Counts change points directly instead of materialising the full
+    ``rle_encode`` run arrays — the run count is all the statistic needs.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
         return 0.0
-    return values.size / v.size
+    n_runs = 1 + int(np.count_nonzero(values[1:] != values[:-1]))
+    return values.size / n_runs

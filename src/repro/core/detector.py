@@ -162,6 +162,7 @@ class GsnpDetector:
         sanitize: bool = False,
         prefetch: bool = True,
         cache: bool = True,
+        fusion: bool = False,
         shard_timeout: Optional[float] = None,
         journal_dir=None,
         resume: bool = False,
@@ -177,9 +178,11 @@ class GsnpDetector:
         self.shard_size = shard_size
         self.sanitize = sanitize
         #: Throughput-engine toggles (double-buffered streaming, persistent
-        #: device tables); results are bitwise identical either way.
+        #: device tables, fused megabatch launching); results are bitwise
+        #: identical under every combination.
         self.prefetch = prefetch
         self.cache = cache
+        self.fusion = fusion
         #: Robustness knobs, forwarded to the sharded executor.
         self.shard_timeout = shard_timeout
         self.journal_dir = journal_dir
@@ -232,6 +235,7 @@ class GsnpDetector:
                 shard_size=self.shard_size,
                 prefetch=self.prefetch,
                 cache=self.cache,
+                fusion=self.fusion,
                 shard_timeout=self.shard_timeout,
                 journal_dir=self.journal_dir,
                 resume=self.resume,
@@ -252,6 +256,7 @@ class GsnpDetector:
                 device=device,
                 prefetch=self.prefetch,
                 cache=self.cache,
+                fusion=self.fusion,
             )
             result = pipe.run(dataset, output_path=output_path)
             if device is not None:

@@ -31,6 +31,13 @@ from ..formats.window import WindowReader
 from ..compress.columnar import encode_alignments, encode_table
 from ..gpusim.counters import KernelCounters
 from ..gpusim.device import Device
+from ..gpusim.launchplan import (
+    MEGABATCH_WINDOWS,
+    LaunchTally,
+    build_launch_plan,
+    chunk_windows,
+)
+from ..gpusim.spec import CPU_COMPRESS_BW
 from ..seqsim.datasets import SimulatedDataset
 from ..soapsnp.likelihood import (
     adjust_scores,
@@ -51,14 +58,20 @@ from .likelihood import (
     gsnp_likelihood_comp,
     gsnp_likelihood_sort,
 )
+from .fused import (
+    fused_posterior_tail,
+    gsnp_likelihood_posterior_fused,
+    gsnp_recycle_fused,
+    merge_observations,
+)
 from .posterior import gsnp_posterior
-from .prefetch import OutputDrain, prefetched_windows
+from .prefetch import PREFETCH_DEPTH, OutputDrain, prefetched_windows
 from .recycle import gsnp_recycle
 from .score_table import cached_new_p_matrix, table_contributions
 
-#: Modeled throughput of the CPU implementation of the customized
-#: compression algorithms (sequential-scan codecs, Section V-B).
-CPU_COMPRESS_BW = 90e6
+# CPU_COMPRESS_BW now lives with the other M2050/testbed model numbers in
+# repro.gpusim.spec; re-exported here for backwards compatibility.
+__all__ = ["CPU_COMPRESS_BW", "GsnpCalibration", "GsnpPipeline", "GsnpResult"]
 
 
 @dataclass
@@ -165,9 +178,13 @@ class GsnpPipeline:
         device: Optional[Device] = None,
         prefetch: bool = True,
         cache: bool = True,
+        fusion: bool = False,
+        megabatch: int = MEGABATCH_WINDOWS,
     ) -> None:
         if mode not in ("gpu", "cpu"):
             raise PipelineError(f"unknown mode {mode!r}")
+        if megabatch < 1:
+            raise PipelineError("megabatch must be >= 1")
         self.params = params
         self.window_size = window_size
         self.mode = mode
@@ -180,6 +197,14 @@ class GsnpPipeline:
         #: score tables across run() calls (tables load once per process
         #: per calibration instead of once per run/shard).
         self.cache = cache
+        #: Fused ragged-megabatch execution: concatenate ``megabatch``
+        #: windows into one flat launch plan so every kernel chain
+        #: (counting, cross-window-rebucketed sort, fused
+        #: likelihood+posterior, segmented output codec, recycle)
+        #: launches once per megabatch instead of once per window.
+        #: GPU mode only; results stay bitwise identical.
+        self.fusion = fusion
+        self.megabatch = megabatch
         self._cached_device: Optional[Device] = None
 
     def calibrate(
@@ -293,7 +318,11 @@ class GsnpPipeline:
         reader = WindowReader(
             reads, dataset.n_sites, self.window_size, start=start, stop=stop
         )
-        windows = prefetched_windows(reader, self.prefetch)
+        use_fusion = self.fusion and self.mode == "gpu"
+        # With fusion the compute loop consumes a whole megabatch at a
+        # time, so the decode pipeline must run at least that far ahead.
+        depth = max(PREFETCH_DEPTH, self.megabatch) if use_fusion else PREFETCH_DEPTH
+        windows = prefetched_windows(reader, self.prefetch, depth=depth)
         tables_out: list[ResultTable] = []
         sort_stats = []
         blobs: list[bytes] = []
@@ -311,7 +340,15 @@ class GsnpPipeline:
                 out_cm = atomic_output(output_path)
                 out_f = out_cm.__enter__()
         out_committed = False
+        fusion_info = None
         try:
+            if use_fusion:
+                fusion_info = self._run_fused(
+                    windows, device, tables, profile, dataset, params,
+                    temp_len, total_reads, out_f, drain,
+                    tables_out, sort_stats, blobs,
+                )
+                windows = ()  # the fused loop consumed the window stream
             for window in windows:
                 frac = window.reads.n_reads / max(total_reads, 1)
 
@@ -323,11 +360,14 @@ class GsnpPipeline:
                 rec.cpu.instructions += win_reads.n_reads * 8
 
                 # ---- counting: per-site base_word segments -----------------
+                # The per-window launch chain below is the fusion parity
+                # baseline (and the mode='cpu' path); GSNP107 suppressions
+                # mark each launcher the megabatch path replaces.
                 rec = profile.phase("counting")
                 with _PhaseScope(rec, device):
                     obs = extract_observations(window)
                     if self.mode == "gpu":
-                        words, offsets = gsnp_counting(device, obs)
+                        words, offsets = gsnp_counting(device, obs)  # gsnp-lint: disable=GSNP107
                     else:
                         words, offsets = words_from_observations(obs)
                 rec.cpu.instructions += obs.n_obs * 4
@@ -338,11 +378,11 @@ class GsnpPipeline:
                 rec = profile.phase("likelihood")
                 with _PhaseScope(rec, device):
                     if self.mode == "gpu":
-                        wsorted, stats = gsnp_likelihood_sort(
+                        wsorted, stats = gsnp_likelihood_sort(  # gsnp-lint: disable=GSNP107
                             device, words, offsets
                         )
                         sort_stats.append(stats)
-                        type_likely = gsnp_likelihood_comp(
+                        type_likely = gsnp_likelihood_comp(  # gsnp-lint: disable=GSNP107
                             device, wsorted, offsets, tables, self.variant
                         )
                     else:
@@ -376,7 +416,7 @@ class GsnpPipeline:
                         window.start : window.end
                     ]
                     if self.mode == "gpu":
-                        table = gsnp_posterior(
+                        table = gsnp_posterior(  # gsnp-lint: disable=GSNP107
                             device, obs, window.start, ref_codes,
                             dataset.prior, type_likely, params,
                             chrom=dataset.reference.name,
@@ -393,7 +433,7 @@ class GsnpPipeline:
                 # ---- output: customized columnar compression ----------------
                 rec = profile.phase("output")
                 with _PhaseScope(rec, device):
-                    blob = encode_table(
+                    blob = encode_table(  # gsnp-lint: disable=GSNP107
                         table, device=device if self.mode == "gpu" else None
                     )
                     if out_f is not None:
@@ -417,7 +457,7 @@ class GsnpPipeline:
                 rec = profile.phase("recycle")
                 with _PhaseScope(rec, device):
                     if self.mode == "gpu":
-                        gsnp_recycle(device, words.size, window.n_sites)
+                        gsnp_recycle(device, words.size, window.n_sites)  # gsnp-lint: disable=GSNP107
                 if self.mode == "cpu":
                     rec.cpu.seq_write_bytes += words.size * 4 + window.n_sites * 88
         except BaseException as exc:
@@ -453,8 +493,118 @@ class GsnpPipeline:
                 "input_bytes": calibration.input_bytes,
                 "device": device,
                 "peak_gpu_bytes": device.peak_global_used if device else 0,
+                **({"fusion": fusion_info} if fusion_info is not None else {}),
             },
         )
+
+    def _run_fused(
+        self,
+        windows,
+        device: Device,
+        tables: GsnpTables,
+        profile: RunProfile,
+        dataset: SimulatedDataset,
+        params: CallingParams,
+        temp_len: int,
+        total_reads: int,
+        out_f,
+        drain,
+        tables_out: list,
+        sort_stats: list,
+        blobs: list,
+    ) -> dict:
+        """Fused megabatch loop: one launch chain per ``megabatch`` windows.
+
+        Phase names and per-phase accounting match the per-window loop —
+        each :class:`_PhaseScope` just covers a megabatch's worth of the
+        phase at once — so phase-level event records stay comparable
+        across the fusion toggle while the device sees ~``megabatch``x
+        fewer launches.
+        """
+        from ..compress.fusedcodec import encode_tables_fused
+
+        tally = LaunchTally()
+        n_megabatches = 0
+        fused_name = f"likelihood_posterior_fused_{self.variant.name}"
+        for group in chunk_windows(windows, self.megabatch):
+            n_megabatches += 1
+
+            # ---- read_site: decompress the temp input ----------------------
+            rec = profile.phase("read_site")
+            with _PhaseScope(rec, device):
+                group_reads = [w.reads for w in group]
+            for win_reads in group_reads:
+                frac = win_reads.n_reads / max(total_reads, 1)
+                rec.disk.read_buffered_bytes += int(temp_len * frac)
+                rec.cpu.instructions += win_reads.n_reads * 8
+
+            # ---- counting: merged megabatch base_word segments -------------
+            rec = profile.phase("counting")
+            with _PhaseScope(rec, device):
+                obs_list = [extract_observations(w) for w in group]
+                plan = build_launch_plan(group, [o.n_obs for o in obs_list])
+                merged = merge_observations(obs_list, plan)
+                with tally.measure(device, "counting", plan.n_windows):
+                    words, offsets = gsnp_counting(device, merged)
+            rec.cpu.instructions += merged.n_obs * 4
+
+            # ---- likelihood: cross-window sort + fused comp+posterior ------
+            rec = profile.phase("likelihood")
+            with _PhaseScope(rec, device):
+                with tally.measure(device, "likelihood_sort", plan.n_windows):
+                    wsorted, stats = gsnp_likelihood_sort(
+                        device, words, offsets
+                    )
+                sort_stats.append(stats)
+                with tally.measure(device, fused_name, plan.n_windows):
+                    type_likely = gsnp_likelihood_posterior_fused(
+                        device, wsorted, offsets, tables, self.variant
+                    )
+
+            # ---- posterior: host summaries + in-kernel epilogue charge -----
+            rec = profile.phase("posterior")
+            with _PhaseScope(rec, device):
+                group_tables = []
+                for seg, obs_w in zip(plan.segments, obs_list):
+                    ref_codes = dataset.reference.codes[seg.start:seg.end]
+                    group_tables.append(summarize_window(
+                        obs_w, seg.start, ref_codes, dataset.prior,
+                        type_likely[seg.site_slice], params,
+                        chrom=dataset.reference.name,
+                    ))
+                    fused_posterior_tail(
+                        device, fused_name, seg.n_sites, obs_w.n_obs
+                    )
+
+            # ---- output: segmented columnar compression --------------------
+            rec = profile.phase("output")
+            with _PhaseScope(rec, device):
+                with tally.measure(device, "output_compress", plan.n_windows):
+                    group_blobs = encode_tables_fused(device, group_tables)
+                for blob in group_blobs:
+                    if out_f is not None:
+                        out_f.write(blob)
+                    elif drain is not None:
+                        drain.submit(blob)
+            for blob in group_blobs:
+                blobs.append(blob)
+                rec.disk.write_bytes += len(blob)
+                rec.transfer_bytes += len(blob)
+            tables_out.extend(group_tables)
+
+            # ---- recycle ---------------------------------------------------
+            rec = profile.phase("recycle")
+            with _PhaseScope(rec, device):
+                with tally.measure(device, "recycle", plan.n_windows):
+                    gsnp_recycle_fused(
+                        device, words.size, plan.n_sites, plan.n_windows
+                    )
+        return {
+            "megabatch_windows": self.megabatch,
+            "megabatches": n_megabatches,
+            "launches": tally.total_launches(),
+            "stages": tally.summary(),
+        }
 
     def release_cache(self) -> None:
         """Free the persistent residency: resident tables + cached device.

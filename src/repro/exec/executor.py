@@ -82,6 +82,9 @@ class ExecConfig:
     #: Persistent device residency: each worker keeps one pipeline (and its
     #: uploaded score tables) across all the shards it executes.
     cache: bool = True
+    #: Fused ragged-megabatch launching inside each shard run (GPU engine
+    #: only; off under degradation, like the other throughput toggles).
+    fusion: bool = False
     #: Per-shard wall-clock deadline in seconds (process pools only): an
     #: overrunning shard's worker is killed and the shard retried.
     shard_timeout: Optional[float] = None
@@ -123,6 +126,7 @@ def _make_pipeline(st: dict, *, degraded: bool = False):
         variant=st["variant"],
         prefetch=False if degraded else st.get("prefetch"),
         cache=False if degraded else st.get("cache"),
+        fusion=False if degraded else st.get("fusion"),
     )
 
 
@@ -434,6 +438,7 @@ def execute(
         "calibration": calibration.strip(),
         "prefetch": config.prefetch,
         "cache": config.cache,
+        "fusion": config.fusion,
         "faults": plan,
     }
     if streaming:
@@ -486,6 +491,7 @@ def execute(
         "streaming": streaming,
         "prefetch": config.prefetch,
         "cache": config.cache,
+        "fusion": config.fusion,
         "retries": retries_used,
         "resumed": len(committed),
         "shard_timeout": config.shard_timeout,

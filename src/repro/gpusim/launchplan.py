@@ -1,0 +1,192 @@
+"""Launch-plan scheduling for ragged cross-window megabatches.
+
+The per-window pipeline fires a full counting -> sort -> likelihood ->
+posterior -> compress kernel chain for every ~3k-site window, so a
+chromosome run pays thousands of launches for tiny grids.  The fused
+execution path instead concatenates the windows of a prefetch batch into
+one *ragged megabatch*: a flat site axis with CSR-style per-window
+offsets and a site -> window segment-id map.  Device work then launches
+once per megabatch — multipass sort size buckets are re-bucketed across
+windows, the likelihood/posterior pair is fused into a single kernel,
+and the output codec runs segmented over all window columns at once.
+
+This module is the scheduler half: it knows *where* each window lives
+inside the flat layout (:class:`LaunchPlan`) and *what* the fusion saved
+(:class:`LaunchTally`), but contains no kernels itself — those live in
+``repro.gpusim.primitives.segmented`` and ``repro.core.fused``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+#: Windows concatenated into one ragged megabatch.  Matches the shard
+#: granularity the executor hands the fused path; 16 windows of ~3k
+#: sites keeps every flat array well under the M2050 memory model while
+#: amortising launch overhead ~16x for the per-window kernel chain.
+MEGABATCH_WINDOWS = 16
+
+#: Host-side launcher functions whose device work the fused path
+#: replaces with a single megabatch launch sequence.  gsnp-lint rule
+#: GSNP107 flags calls to these names inside a per-window loop.
+FUSABLE_LAUNCHERS = frozenset(
+    {
+        "gsnp_counting",
+        "gsnp_likelihood_sort",
+        "gsnp_likelihood_comp",
+        "gsnp_posterior",
+        "gsnp_recycle",
+        "encode_table",
+        "rle_dict_encode_gpu",
+        "dict_encode_gpu",
+    }
+)
+
+
+@dataclass(frozen=True)
+class WindowSegment:
+    """One window's slot inside the ragged megabatch.
+
+    ``site_offset``/``obs_offset`` locate the window's slice on the flat
+    site and observation axes; ``start``/``end`` are its reference
+    coordinates, unchanged from the underlying :class:`Window`.
+    """
+
+    index: int
+    start: int
+    end: int
+    n_sites: int
+    site_offset: int
+    obs_offset: int
+
+    @property
+    def site_slice(self) -> slice:
+        return slice(self.site_offset, self.site_offset + self.n_sites)
+
+
+@dataclass(frozen=True)
+class LaunchPlan:
+    """CSR-style layout of a megabatch: segments + flat-axis totals.
+
+    ``site_offsets`` has ``n_windows + 1`` entries (classic CSR row
+    pointers over the flat site axis); :meth:`site_window` expands it to
+    a per-site segment-id array for device-side segmented primitives.
+    """
+
+    segments: Tuple[WindowSegment, ...]
+    n_sites: int
+    n_obs: int
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.segments)
+
+    @property
+    def site_offsets(self) -> np.ndarray:
+        out = np.zeros(self.n_windows + 1, dtype=np.int64)
+        for seg in self.segments:
+            out[seg.index + 1] = seg.site_offset + seg.n_sites
+        return out
+
+    def site_window(self) -> np.ndarray:
+        """Per-site window (segment) ids, shape ``(n_sites,)``."""
+        counts = [seg.n_sites for seg in self.segments]
+        return np.repeat(np.arange(self.n_windows, dtype=np.int32), counts)
+
+
+def build_launch_plan(windows: Sequence, obs_counts: Sequence[int]) -> LaunchPlan:
+    """Lay a batch of windows out on flat site/observation axes."""
+    if len(windows) != len(obs_counts):
+        raise ValueError("windows and obs_counts must align")
+    segments: List[WindowSegment] = []
+    site_off = 0
+    obs_off = 0
+    for i, (window, n_obs) in enumerate(zip(windows, obs_counts)):
+        segments.append(
+            WindowSegment(
+                index=i,
+                start=window.start,
+                end=window.end,
+                n_sites=window.n_sites,
+                site_offset=site_off,
+                obs_offset=obs_off,
+            )
+        )
+        site_off += window.n_sites
+        obs_off += int(n_obs)
+    return LaunchPlan(segments=tuple(segments), n_sites=site_off, n_obs=obs_off)
+
+
+def chunk_windows(windows: Iterable, size: int) -> Iterator[list]:
+    """Group a window stream into megabatch-sized lists (last may be short)."""
+    if size < 1:
+        raise ValueError("megabatch size must be >= 1")
+    it = iter(windows)
+    while True:
+        group = list(itertools.islice(it, size))
+        if not group:
+            return
+        yield group
+
+
+@dataclass
+class _StageStat:
+    launches: int = 0
+    windows: int = 0
+    batches: int = 0
+
+
+@dataclass
+class LaunchTally:
+    """Segment-aware launch accounting for the fused path.
+
+    Each fused stage records how many kernel launches it actually issued
+    (measured from the device counter book, not estimated) and how many
+    windows that batch covered, so ``launches / windows`` exposes the
+    per-window launch cost the fusion achieved for every stage.
+    """
+
+    stages: Dict[str, _StageStat] = field(default_factory=dict)
+
+    def note(self, stage: str, launches: int, windows: int) -> None:
+        st = self.stages.setdefault(stage, _StageStat())
+        st.launches += int(launches)
+        st.windows += int(windows)
+        st.batches += 1
+
+    @contextmanager
+    def measure(self, device, stage: str, windows: int):
+        """Attribute launches issued inside the block to ``stage``."""
+        before = device.counters.total().launches
+        yield
+        after = device.counters.total().launches
+        self.note(stage, after - before, windows)
+
+    def total_launches(self) -> int:
+        return sum(st.launches for st in self.stages.values())
+
+    def summary(self) -> dict:
+        return {
+            name: {
+                "launches": st.launches,
+                "windows": st.windows,
+                "batches": st.batches,
+            }
+            for name, st in sorted(self.stages.items())
+        }
+
+
+__all__ = [
+    "FUSABLE_LAUNCHERS",
+    "LaunchPlan",
+    "LaunchTally",
+    "MEGABATCH_WINDOWS",
+    "WindowSegment",
+    "build_launch_plan",
+    "chunk_windows",
+]

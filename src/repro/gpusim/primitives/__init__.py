@@ -11,15 +11,23 @@ NumPy and accounts instructions and memory transactions through the
 from .reduce import device_reduce, segmented_reduce
 from .scan import device_exclusive_scan
 from .search import device_binary_search
+from .segmented import (
+    compose_segment_keys,
+    segmented_dict_indices,
+    segmented_flag_runs,
+)
 from .sort import device_radix_sort, sequential_radix_sort_batches
 from .unique import device_unique
 
 __all__ = [
+    "compose_segment_keys",
     "device_binary_search",
     "device_exclusive_scan",
     "device_radix_sort",
     "device_reduce",
     "device_unique",
+    "segmented_dict_indices",
+    "segmented_flag_runs",
     "segmented_reduce",
     "sequential_radix_sort_batches",
 ]

@@ -37,7 +37,9 @@ def _scatter_kernel(ctx, keys, out, perm, n: int):
     ctx.gstore(out, pos, k, active=active)
 
 
-def device_radix_sort(device: Device, keys: DeviceArray) -> DeviceArray:
+def device_radix_sort(
+    device: Device, keys: DeviceArray, nbits: int | None = None
+) -> DeviceArray:
     """Sort a device array of unsigned integer keys ascending.
 
     Runs ``ceil(bits / 8)`` LSD passes.  Each pass issues a histogram
@@ -45,11 +47,20 @@ def device_radix_sort(device: Device, keys: DeviceArray) -> DeviceArray:
     and a scatter kernel whose writes are, as on real hardware, almost
     fully uncoalesced — which is precisely why radix sort needs large
     arrays to pay off.
+
+    ``nbits`` caps the key width actually sorted: callers whose keys
+    occupy only the low bits of the word (e.g. the megabatch codec's
+    composite segment keys) skip the all-zero high-digit passes, exactly
+    as a real radix sort configured with ``begin_bit``/``end_bit`` would.
     """
     if keys.dtype.kind != "u":
         raise KernelError("device_radix_sort requires an unsigned dtype")
     n = keys.size
-    nbits = keys.itemsize * 8
+    width = keys.itemsize * 8
+    if nbits is None:
+        nbits = width
+    if not 1 <= nbits <= width:
+        raise KernelError(f"nbits must be in [1, {width}], got {nbits}")
     src = device.alloc(n, keys.dtype, name=f"{keys.name}.rsortA")
     src.data[:] = keys.data.reshape(-1)
     dst = device.alloc(n, keys.dtype, name=f"{keys.name}.rsortB")

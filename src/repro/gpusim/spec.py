@@ -93,5 +93,14 @@ class PlatformSpec:
     disk: DiskSpec = field(default_factory=DiskSpec)
 
 
+#: Effective CPU compression throughput (bytes/s) for the output codec
+#: when it runs on the host instead of the device.  Section V-B motivates
+#: moving RLE+DICT onto the GPU precisely because the CPU-side encoder
+#: sustains only on the order of the sequential disk bandwidth it feeds
+#: (~90 MB/s on the Xeon E5630 testbed), so host compression would gate
+#: the whole output phase.  The pipeline charges this rate for the
+#: residual host-side encode work.
+CPU_COMPRESS_BW = 90e6
+
 #: The default platform, replicating the paper's testbed.
 BGI_PLATFORM = PlatformSpec()

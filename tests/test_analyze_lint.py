@@ -400,6 +400,75 @@ class TestGsnp106FaultSites:
         assert diags == []
 
 
+class TestGsnp107FusableInWindowLoop:
+    """Fusable launchers belong in the megabatch plan, not per-window loops."""
+
+    def test_fusable_call_in_window_loop_flagged(self):
+        diags = _lint(
+            """
+            from repro.core.counting import gsnp_counting
+            def run(device, windows):
+                for window in windows:
+                    obs = extract(window)
+                    gsnp_counting(device, obs)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP107"]
+        assert "gsnp_counting" in diags[0].message
+
+    def test_bare_name_iterable_flagged(self):
+        diags = _lint(
+            """
+            def run(device, windows):
+                for w in windows:
+                    gsnp_posterior(device, w)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP107"]
+
+    def test_chunked_iterable_is_fine(self):
+        # A Call iterable (e.g. chunk_windows) is the megabatch pattern
+        # itself — only raw per-window iteration is flagged.
+        diags = _lint(
+            """
+            def run(device, windows):
+                for group in chunk_windows(windows, 16):
+                    gsnp_counting(device, group)
+            """
+        )
+        assert diags == []
+
+    def test_non_window_loop_is_fine(self):
+        diags = _lint(
+            """
+            def run(device, shards):
+                for shard in shards:
+                    gsnp_counting(device, shard)
+            """
+        )
+        assert diags == []
+
+    def test_non_fusable_call_is_fine(self):
+        diags = _lint(
+            """
+            def run(device, windows):
+                for window in windows:
+                    obs = extract_observations(window)
+            """
+        )
+        assert diags == []
+
+    def test_suppression_comment_works(self):
+        diags = _lint(
+            """
+            def run(device, windows):
+                for window in windows:
+                    gsnp_recycle(device, 1, 2)  # gsnp-lint: disable=GSNP107
+            """
+        )
+        assert diags == []
+
+
 class TestDiagnostic:
     def test_format_is_file_line_col(self):
         d = Diagnostic(path="x.py", line=3, col=5,
@@ -409,5 +478,5 @@ class TestDiagnostic:
     def test_rule_table_complete(self):
         assert set(RULES) == {
             "GSNP100", "GSNP101", "GSNP102", "GSNP103", "GSNP104",
-            "GSNP105", "GSNP106",
+            "GSNP105", "GSNP106", "GSNP107",
         }

@@ -86,6 +86,16 @@ class TestRle:
         assert mean_run_length(np.array([1, 2, 3])) == 1.0
         assert mean_run_length(np.empty(0)) == 0.0
 
+    def test_mean_run_length_known_column(self):
+        # Pinned value on a known column: 4 runs over 10 values -> 2.5.
+        # mean_run_length counts change points directly, without
+        # materializing the rle_encode copy — the two must agree.
+        col = np.array([5, 5, 5, 7, 7, 9, 9, 9, 9, 2], dtype=np.int32)
+        assert mean_run_length(col) == 2.5
+        values, lengths = rle_encode(col)
+        assert mean_run_length(col) == col.size / values.size
+        assert lengths.sum() == col.size
+
     @given(st.lists(st.integers(0, 5), min_size=0, max_size=500))
     @settings(max_examples=50, deadline=None)
     def test_property_roundtrip(self, values):

@@ -1,0 +1,94 @@
+"""Multipass sort edge cases: empty buckets, depth-1 windows, oversized
+top bucket.
+
+These are the degenerate window shapes the ragged-megabatch launcher can
+produce when it re-buckets sort sizes across windows — a size class can
+end up empty for a whole megabatch, an entire window can be depth <= 1,
+and a single long site can push the open-ended top bucket past the last
+pass-width bound.
+"""
+
+import numpy as np
+
+from repro.gpusim.device import Device
+from repro.sortnet.bitonic import next_pow2
+from repro.sortnet.multipass import (
+    MULTIPASS_BOUNDS,
+    multipass_sort,
+    size_class_of,
+)
+
+
+def _segments(lengths, seed=11):
+    lengths = np.asarray(lengths, dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+    rng = np.random.default_rng(seed)
+    words = rng.integers(0, 2**17, offsets[-1]).astype(np.uint32)
+    return words, offsets
+
+
+def _check_all_sorted(out, words, offsets):
+    for i in range(offsets.size - 1):
+        s, e = offsets[i], offsets[i + 1]
+        assert np.array_equal(out[s:e], np.sort(words[s:e]))
+
+
+class TestEmptyBucket:
+    def test_empty_middle_buckets_launch_nothing(self):
+        # Lengths land only in classes 1 (<=8) and 5 (>64); classes
+        # 2..4 are empty and must contribute no pass and no launch.
+        words, offsets = _segments([3, 5, 80, 2, 70])
+        device = Device()
+        out, stats = multipass_sort(words, offsets, device=device)
+        _check_all_sorted(out, words, offsets)
+        assert stats.passes == 2
+        widths = [w for w, _ in stats.per_pass]
+        assert widths == [8, next_pow2(80)]
+        names = set(device.counters.entries)
+        assert not any(f"likelihood_sort_c{ci}" in n
+                       for n in names for ci in (2, 3, 4))
+
+    def test_no_sites_at_all(self):
+        words, offsets = _segments([])
+        out, stats = multipass_sort(words, offsets)
+        assert out.size == 0
+        assert stats.passes == 0 and stats.real_elements == 0
+
+
+class TestDepthOneWindow:
+    def test_all_sites_depth_le_1_zero_launches(self):
+        # Every per-site array is size 0 or 1 — already sorted; the
+        # class-0 fast path must skip the device entirely.
+        words, offsets = _segments([1, 0, 1, 1, 0, 1])
+        device = Device()
+        out, stats = multipass_sort(words, offsets, device=device)
+        assert np.array_equal(out, words)
+        assert stats.passes == 0
+        assert device.counters.total().launches == 0
+        # The untouched singletons still count as padded work done.
+        assert stats.padded_elements == int(
+            (np.diff(offsets) <= 1).sum()
+        )
+
+
+class TestOversizedTopBucket:
+    def test_largest_bucket_exceeds_last_bound(self):
+        # One site of depth 100 > bounds[-1] = 64: the open-ended top
+        # bucket must widen its pass to next_pow2(100) = 128, not clamp
+        # to the last bound.
+        assert MULTIPASS_BOUNDS[-1] == 64
+        lengths = [4, 100, 7]
+        words, offsets = _segments(lengths)
+        assert size_class_of(np.array([100]))[0] == len(MULTIPASS_BOUNDS)
+        out, stats = multipass_sort(words, offsets, device=Device())
+        _check_all_sorted(out, words, offsets)
+        widths = dict((w, r) for w, r in stats.per_pass)
+        assert widths[128] == 1  # the single oversized site
+        assert 8 in widths  # the two small sites share the <=8 pass
+
+    def test_single_window_single_oversized_site(self):
+        words, offsets = _segments([130])
+        out, stats = multipass_sort(words, offsets)
+        _check_all_sorted(out, words, offsets)
+        assert stats.per_pass == [(next_pow2(130), 1)]
+        assert stats.padded_elements == next_pow2(130)
