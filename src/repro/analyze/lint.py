@@ -37,6 +37,11 @@ GSNP107   fusable-in-window-loop  a launcher registered in
                                 called inside a per-window loop — per-window
                                 kernel chains belong on the fused megabatch
                                 path (module-level rule, not kernel-scoped)
+GSNP108   legacy-pipeline-kwargs  ``create_pipeline`` / ``execute`` /
+                                ``ExecConfig`` called with raw legacy keyword
+                                arguments instead of a ``spec=JobSpec(...)``;
+                                the JobSpec dataclass is the single source of
+                                truth for job knobs (module-level rule)
 ========  ====================  ==============================================
 
 Suppress a finding on its line with ``# gsnp-lint: disable=GSNP101`` (rule
@@ -62,6 +67,7 @@ RULES: dict[str, str] = {
     "GSNP105": "device-fancy-index",
     "GSNP106": "adhoc-fault-site",
     "GSNP107": "fusable-in-window-loop",
+    "GSNP108": "legacy-pipeline-kwargs",
 }
 
 _RULE_BY_NAME = {name: rid for rid, name in RULES.items()}
@@ -544,6 +550,56 @@ class _FusableLoopChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _LegacySpecChecker(ast.NodeVisitor):
+    """GSNP108: job knobs travel as a JobSpec, not loose kwargs.
+
+    Module-level (not kernel-scoped).  Flags any call to
+    ``create_pipeline``, ``execute`` or ``ExecConfig`` that passes one of
+    the superseded per-knob keyword arguments without also passing
+    ``spec=``.  Those spellings still work (through the deprecation
+    shim), but every knob has exactly one home — a
+    :class:`repro.api.JobSpec` field — and new call sites must use it.
+    The shim itself carries an explicit suppression.
+    """
+
+    _TARGETS = ("create_pipeline", "execute", "ExecConfig")
+    _LEGACY = frozenset({
+        "window_size", "variant", "prefetch", "cache", "fusion",
+        "megabatch", "workers", "shard_size", "shard_timeout",
+        "journal_dir", "resume", "quarantine", "faults", "max_retries",
+        "backlog", "force_serial", "backoff_base", "inject_failures",
+    })
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diags: list[Diagnostic] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in self._TARGETS:
+            kwargs = {kw.arg for kw in node.keywords if kw.arg}
+            legacy = sorted(kwargs & self._LEGACY)
+            if legacy and "spec" not in kwargs:
+                self.diags.append(Diagnostic(
+                    path=self.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule="GSNP108",
+                    message=(
+                        f"'{name}' called with legacy kwarg(s) "
+                        f"{', '.join(legacy)}; pass spec=JobSpec(...) — "
+                        "the JobSpec dataclass is the single source of "
+                        "truth for job knobs"
+                    ),
+                ))
+        self.generic_visit(node)
+
+
 def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
     """Lint one module's source; returns sorted, suppression-filtered
     diagnostics (a syntax error yields a single GSNP100 diagnostic)."""
@@ -566,7 +622,11 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         for d in _KernelChecker(kernel, path).run():
             if not _is_suppressed(d, suppressions):
                 diags.add(d)
-    for checker in (_FaultSiteChecker(path), _FusableLoopChecker(path)):
+    for checker in (
+        _FaultSiteChecker(path),
+        _FusableLoopChecker(path),
+        _LegacySpecChecker(path),
+    ):
         checker.visit(tree)
         for d in checker.diags:
             if not _is_suppressed(d, suppressions):

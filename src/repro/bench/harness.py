@@ -20,7 +20,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..align.records import AlignmentBatch
-from ..api import create_pipeline, effective_window, get_engine_spec
+from ..api import JobSpec, create_pipeline, effective_window, get_engine_spec
 from ..compress.columnar import encode_alignments, encode_table
 from ..compress.gzipcodec import (
     GZIP_COMPRESS_BW,
@@ -491,7 +491,9 @@ def exp_fig12(fraction: float = 0.05, engines=("soapsnp", "gsnp_cpu", "gsnp")) -
         ds = generate_dataset(small)
         row = {}
         for engine in engines:
-            pipe = create_pipeline(engine, window_size=ds.n_sites)
+            pipe = create_pipeline(
+                spec=JobSpec(engine=engine, window=ds.n_sites)
+            )
             res = pipe.run(ds)
             row[get_engine_spec(engine).label] = extrapolate(
                 res.profile, small
@@ -522,13 +524,17 @@ def exp_parallel_scaling(
         # Enough windows that every worker count gets multiple shards.
         window_size = max(ds.n_sites // 32, 256)
     window = min(effective_window(engine, window_size), ds.n_sites)
-    serial = create_pipeline(engine, window_size=window).run(ds)
+    serial = create_pipeline(
+        spec=JobSpec(engine=engine, window=window)
+    ).run(ds)
     serial_comp = getattr(serial, "compressed_output", b"")
     out = {}
     base_wall = None
     for w in workers:
         t0 = time.perf_counter()
-        res = execute(ds, engine, window_size=window, workers=w)
+        res = execute(
+            ds, spec=JobSpec(engine=engine, window=window, workers=w)
+        )
         wall = time.perf_counter() - t0
         if base_wall is None:
             base_wall = wall
@@ -579,10 +585,10 @@ def exp_e2e_throughput(
     ):
         prev = set_fast_paths(fast)
         try:
-            pipe = create_pipeline(
-                "gsnp", window_size=window, prefetch=prefetch,
+            pipe = create_pipeline(spec=JobSpec(
+                engine="gsnp", window=window, prefetch=prefetch,
                 cache=cache, fusion=fusion,
-            )
+            ))
             best, result = None, None
             for _ in range(max(1, repeats)):
                 t0 = time.perf_counter()
@@ -600,10 +606,10 @@ def exp_e2e_throughput(
         # cumulative launch counter is exactly one pass over the dataset.
         prev = set_fast_paths(True)
         try:
-            pipe = create_pipeline(
-                "gsnp", window_size=window, prefetch=False,
+            pipe = create_pipeline(spec=JobSpec(
+                engine="gsnp", window=window, prefetch=False,
                 cache=False, fusion=fusion,
-            )
+            ))
             res = pipe.run(ds)
             return int(res.extras["device"].counters.total().launches)
         finally:

@@ -1,12 +1,16 @@
-"""Command-line tools: simulate datasets, call SNPs, decompress results.
+"""Command-line tools: simulate, call, serve, decompress, bench, lint.
 
-Three entry points mirror how the original system is operated:
+The entry points mirror how the original system is operated:
 
 * ``gsnp-simulate`` — generate a synthetic dataset (reference FASTA, SOAP
   alignment file, known-SNP prior file).
 * ``gsnp-call`` — run SNP detection over those files with any engine
   (``gsnp``, ``gsnp_cpu`` or ``soapsnp``) and write text or compressed
-  output.
+  output.  Every knob is one :class:`~repro.api.JobSpec` field; the
+  argument groups here derive from the dataclass metadata.
+* ``gsnp-serve`` / ``gsnp-submit`` — the resident calling service: a
+  daemon that keeps calibration and device state warm across jobs, and
+  the client that submits :class:`~repro.api.JobSpec` jobs to it.
 * ``gsnp-decompress`` — the decompression tool of Section V-B: convert a
   compressed result back to SOAPsnp text, optionally filtered.
 """
@@ -20,7 +24,7 @@ import time
 import numpy as np
 
 from .align.records import AlignmentBatch
-from .api import engine_names
+from .api import JobSpec, engine_names
 from .compress.reader import CompressedResultReader
 from .core.detector import GsnpDetector
 from .formats.cns import write_cns
@@ -28,7 +32,6 @@ from .formats.fasta import write_fasta
 from .formats.prior import write_prior
 from .formats.soap import write_soap
 from .seqsim.datasets import DatasetSpec, generate_dataset
-from .soapsnp.posterior import is_snp_call
 
 
 def main_simulate(argv=None) -> int:
@@ -77,128 +80,191 @@ def main_simulate(argv=None) -> int:
 def main_call(argv=None) -> int:
     """Run SNP detection over (fasta, soap, prior) input files."""
     p = argparse.ArgumentParser(prog="gsnp-call", description=main_call.__doc__)
-    p.add_argument("fasta")
-    p.add_argument("soap")
-    p.add_argument("--prior", default=None)
-    p.add_argument("--engine", choices=engine_names(), default="gsnp")
-    p.add_argument("--window", type=int, default=256_000)
-    p.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes; >1 runs the sharded parallel executor",
+    JobSpec.add_cli_args(p)
+    args = p.parse_args(argv)
+    try:
+        spec = JobSpec.from_cli_args(args).validate(require_inputs=True)
+    except ValueError as exc:
+        p.error(str(exc))
+    spec = spec.normalized()
+
+    det = GsnpDetector.from_files(spec.fasta, spec.soap, spec.prior, spec=spec)
+    t0 = time.perf_counter()
+    result = det.run()
+    wall = time.perf_counter() - t0
+
+    # Output rendering and the summary line are shared with gsnp-serve:
+    # served bytes are bitwise identical to these by construction.
+    from .serve.runner import job_summary, write_job_output
+
+    if spec.output:
+        write_job_output(result, spec)
+    print(
+        job_summary(result, spec, wall)
+        + (f" -> {spec.output}" if spec.output else "")
+    )
+    return 0
+
+
+def main_serve(argv=None) -> int:
+    """Run the resident gsnp-serve daemon on a Unix socket."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-serve", description=main_serve.__doc__
     )
     p.add_argument(
-        "--shard-size", type=int, default=None,
-        help="sites per shard (snapped up to a window multiple)",
+        "--socket", default="gsnp-serve.sock",
+        help="Unix socket path to listen on (the OS caps it at ~107 bytes)",
     )
-    p.add_argument("-o", "--output", default=None)
     p.add_argument(
-        "--compressed",
+        "--state-dir", default="gsnp-serve-state",
+        help="durable state: job ledger, shard journals, calibration store",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads (each keeps its own resident device state)",
+    )
+    p.add_argument(
+        "--max-queued", type=int, default=16,
+        help="admission cap on live (queued + running) jobs",
+    )
+    p.add_argument(
+        "--tenant-quota", type=int, default=None,
+        help="admission cap on live jobs per tenant (default: unlimited)",
+    )
+    p.add_argument(
+        "--max-datasets", type=int, default=4,
+        help="parsed-dataset LRU cache size",
+    )
+    p.add_argument(
+        "--smoke",
         action="store_true",
-        help="write GSNP compressed output instead of text",
-    )
-    p.add_argument("--min-quality", type=int, default=13)
-    p.add_argument(
-        "--sanitize",
-        action="store_true",
-        help="run the simulated device with the kernel sanitizer enabled "
-        "(races, hazards, uninitialized reads, leaks); serial engine only",
-    )
-    p.add_argument(
-        "--prefetch",
-        action=argparse.BooleanOptionalAction,
-        default=True,
-        help="double-buffered window streaming: decode window N+1 while "
-        "window N computes (results are bitwise identical either way)",
-    )
-    p.add_argument(
-        "--no-cache",
-        dest="cache",
-        action="store_false",
-        help="disable persistent device residency (re-upload score tables "
-        "on every run/shard instead of once per worker)",
-    )
-    p.add_argument(
-        "--fusion",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="fused ragged-megabatch launching: concatenate windows into "
-        "one launch plan so each kernel chain launches once per megabatch "
-        "(gsnp engine only; results are bitwise identical either way)",
-    )
-    p.add_argument(
-        "--shard-timeout", type=float, default=None,
-        help="per-shard wall-clock deadline in seconds (process pools "
-        "only); an expired shard is killed and retried with backoff",
-    )
-    p.add_argument(
-        "--journal", default=None,
-        help="shard journal directory: commit each completed shard so an "
-        "interrupted run can be resumed",
-    )
-    p.add_argument(
-        "--resume",
-        action="store_true",
-        help="skip shards already committed to --journal; the merged "
-        "output is bitwise identical to an uninterrupted run",
-    )
-    p.add_argument(
-        "--quarantine", default=None,
-        help="append malformed input records (with file:line context) to "
-        "this file and continue, instead of failing the run",
+        help="run the in-process service smoke scenario (two identical "
+        "jobs + an over-quota one; asserts CLI parity, cache hits and "
+        "clean shutdown) and exit",
     )
     args = p.parse_args(argv)
 
-    if args.resume and not args.journal:
-        p.error("--resume requires --journal")
-    if (
-        (args.journal or args.shard_timeout) and args.workers == 1
-        and args.shard_size is None
-    ):
-        # Journalling and deadlines live in the sharded executor; give a
-        # serial invocation enough shards to checkpoint between.
-        args.shard_size = args.window
+    if args.smoke:
+        from .serve.smoke import run_smoke
 
-    det = GsnpDetector.from_files(
-        args.fasta,
-        args.soap,
-        args.prior,
-        engine=args.engine,
-        window_size=args.window,
+        report = run_smoke()
+        print("serve-smoke:", "OK" if report["ok"] else "FAILED")
+        return 0 if report["ok"] else 1
+
+    import signal
+
+    from .serve import GsnpServer, ServeConfig
+
+    server = GsnpServer(ServeConfig(
+        socket_path=args.socket,
+        state_dir=args.state_dir,
         workers=args.workers,
-        shard_size=args.shard_size,
-        min_quality=args.min_quality,
-        sanitize=args.sanitize,
-        prefetch=args.prefetch,
-        cache=args.cache,
-        fusion=args.fusion,
-        shard_timeout=args.shard_timeout,
-        journal_dir=args.journal,
-        resume=args.resume,
-        quarantine=args.quarantine,
-    )
-    t0 = time.perf_counter()
-    result = det.run()
-    dt = time.perf_counter() - t0
+        max_queued=args.max_queued,
+        tenant_quota=args.tenant_quota,
+        max_datasets=args.max_datasets,
+    ))
 
-    table = result.table
-    if args.output:
-        if args.compressed:
-            if args.engine == "soapsnp":
-                from .compress.columnar import encode_table
+    def _stop(signum, frame):
+        server.shutdown(drain=False)
 
-                blob = encode_table(table)
-            else:
-                blob = result.compressed_output
-            with open(args.output, "wb") as f:
-                f.write(blob)
-        else:
-            write_cns(args.output, table)
-    snps = is_snp_call(table) & (table.quality >= args.min_quality)
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    server.start()
+    if server.recovered_jobs:
+        print(
+            f"recovered {len(server.recovered_jobs)} pending job(s): "
+            + ", ".join(server.recovered_jobs),
+            flush=True,
+        )
     print(
-        f"{args.engine}: {table.n_sites} sites, {int(snps.sum())} SNP calls "
-        f"(q>={args.min_quality}) in {dt:.2f}s"
-        + (f" -> {args.output}" if args.output else "")
+        f"gsnp-serve: listening on {args.socket} "
+        f"({args.workers} worker(s), state in {args.state_dir})",
+        flush=True,
     )
+    server.serve_forever()
+    print("gsnp-serve: bye")
+    return 0
+
+
+def main_submit(argv=None) -> int:
+    """Submit a calling job to a running gsnp-serve daemon."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-submit", description=main_submit.__doc__
+    )
+    p.add_argument(
+        "--socket", default="gsnp-serve.sock",
+        help="Unix socket of the daemon",
+    )
+    p.add_argument("--tenant", default="default", help="tenant id for quotas")
+    p.add_argument(
+        "--priority", type=int, default=0,
+        help="scheduling priority (higher runs first)",
+    )
+    p.add_argument(
+        "--no-wait", dest="wait", action="store_false",
+        help="return right after admission instead of streaming the job",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the daemon's scheduler/cache counters and exit",
+    )
+    p.add_argument("--ping", action="store_true", help="liveness probe")
+    p.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to drain live jobs and stop",
+    )
+    JobSpec.add_cli_args(p)
+    args = p.parse_args(argv)
+
+    import json
+
+    from .serve.client import ServeClient
+    from .serve.protocol import ProtocolError
+
+    client = ServeClient(args.socket)
+    try:
+        if args.ping:
+            print(json.dumps(client.ping(), sort_keys=True))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown(drain=True)
+            print("gsnp-submit: daemon stopping")
+            return 0
+        try:
+            spec = JobSpec.from_cli_args(args).validate(require_inputs=True)
+        except ValueError as exc:
+            p.error(str(exc))
+        result = client.submit(
+            spec, tenant=args.tenant, priority=args.priority, wait=args.wait
+        )
+    except (OSError, ProtocolError) as exc:
+        print(f"gsnp-submit: {exc}", file=sys.stderr)
+        return 1
+    if result.status == "rejected":
+        print(
+            f"gsnp-submit: rejected ({result.code}): {result.error}",
+            file=sys.stderr,
+        )
+        return 1
+    if result.status == "accepted":
+        print(f"accepted: {result.job_id}")
+        return 0
+    if result.status != "done":
+        print(
+            f"gsnp-submit: job {result.job_id} failed: {result.error}",
+            file=sys.stderr,
+        )
+        return 1
+    if result.output is not None:
+        # Inline job: the result bytes stream to stdout, summary to stderr.
+        sys.stdout.buffer.write(result.output)
+        sys.stdout.buffer.flush()
+        print(result.summary, file=sys.stderr)
+    else:
+        print(f"{result.summary} -> {spec.output}")
     return 0
 
 

@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..api import Engine, create_pipeline, resolve_engine
+from ..api import Engine, JobSpec, create_pipeline, resolve_engine
 from ..constants import DEFAULT_WINDOW_GSNP
 from ..formats.cns import ResultTable
 from ..seqsim.datasets import DatasetSpec, KnownSnpPrior, SimulatedDataset
@@ -148,6 +148,9 @@ class GsnpDetector:
     faults:
         A :class:`~repro.faults.plan.FaultPlan` to run under (chaos
         testing).
+    spec:
+        A :class:`~repro.api.JobSpec` carrying all of the above in one
+        object; individual keyword arguments must not be combined with it.
     """
 
     def __init__(
@@ -168,7 +171,25 @@ class GsnpDetector:
         resume: bool = False,
         quarantine=None,
         faults=None,
+        spec: Optional[JobSpec] = None,
     ) -> None:
+        if spec is not None:
+            spec.validate()
+            engine = spec.engine
+            window_size = spec.window
+            variant = spec.variant
+            min_quality = spec.min_quality
+            workers = spec.workers
+            shard_size = spec.shard_size
+            sanitize = spec.sanitize
+            prefetch = spec.prefetch
+            cache = spec.cache
+            fusion = spec.fusion
+            shard_timeout = spec.shard_timeout
+            journal_dir = spec.journal
+            resume = spec.resume
+            quarantine = spec.quarantine
+            faults = spec.faults
         self.engine = resolve_engine(engine)
         self.params = params
         self.window_size = window_size
@@ -204,6 +225,26 @@ class GsnpDetector:
         )
         return det
 
+    def job_spec(self) -> JobSpec:
+        """The detector's current knobs as a :class:`~repro.api.JobSpec`."""
+        return JobSpec(
+            engine=str(self.engine),
+            window=self.window_size,
+            variant=self.variant,
+            min_quality=self.min_quality,
+            workers=self.workers,
+            shard_size=self.shard_size,
+            sanitize=self.sanitize,
+            prefetch=self.prefetch,
+            cache=self.cache,
+            fusion=self.fusion,
+            shard_timeout=self.shard_timeout,
+            journal=self.journal_dir,
+            resume=self.resume,
+            quarantine=self.quarantine,
+            faults=self.faults,
+        )
+
     def run(
         self, dataset: Optional[SimulatedDataset] = None, output_path=None
     ):
@@ -215,32 +256,13 @@ class GsnpDetector:
                 "no dataset: pass one to run() or build the detector "
                 "with from_files()"
             )
-        if self.workers > 1 or self.shard_size is not None:
-            if self.sanitize:
-                raise ValueError(
-                    "sanitize=True requires the serial engine (workers=1, "
-                    "no shard_size): the sharded executor owns its "
-                    "per-shard devices"
-                )
+        spec = self.job_spec().validate()
+        if spec.uses_executor:
             from ..exec import execute
 
             result = execute(
-                dataset,
-                self.engine,
-                params=self.params,
-                window_size=self.window_size,
-                variant=self.variant,
+                dataset, spec=spec, params=self.params,
                 output_path=output_path,
-                workers=self.workers,
-                shard_size=self.shard_size,
-                prefetch=self.prefetch,
-                cache=self.cache,
-                fusion=self.fusion,
-                shard_timeout=self.shard_timeout,
-                journal_dir=self.journal_dir,
-                resume=self.resume,
-                quarantine=self.quarantine,
-                faults=self.faults,
             )
         else:
             device = None
@@ -249,14 +271,7 @@ class GsnpDetector:
 
                 device = Device(sanitize=True)
             pipe = create_pipeline(
-                self.engine,
-                params=self.params,
-                window_size=self.window_size,
-                variant=self.variant,
-                device=device,
-                prefetch=self.prefetch,
-                cache=self.cache,
-                fusion=self.fusion,
+                spec=spec, params=self.params, device=device
             )
             result = pipe.run(dataset, output_path=output_path)
             if device is not None:

@@ -7,7 +7,7 @@ into a result bitwise identical to the serial run.  Entry point:
 :func:`execute`.
 """
 
-from .executor import ExecConfig, execute
+from .executor import ExecConfig, execute, release_resident, resident_stats
 from .merge import merge_profiles, merge_shard_results
 from .pool import PoolBroken, ProcessPool, SerialPool, make_pool
 from .shard import Shard, ShardResult, align_shard_size, plan_shards
@@ -25,4 +25,6 @@ __all__ = [
     "merge_profiles",
     "merge_shard_results",
     "plan_shards",
+    "release_resident",
+    "resident_stats",
 ]

@@ -11,6 +11,19 @@ submission queue, so at most ``workers * backlog`` shard batches are ever
 resident.  Completed shards merge back in genomic order
 (:mod:`repro.exec.merge`).
 
+Jobs are described by a :class:`~repro.api.JobSpec` —
+``execute(dataset, spec=spec)`` is the canonical entry point, and
+:meth:`ExecConfig.from_spec` derives the executor's knobs from the same
+object.  The legacy kwarg spelling (``execute(ds, engine, workers=4)``)
+keeps working through a shim that emits a ``DeprecationWarning``.
+
+Long-lived callers (the ``gsnp-serve`` daemon) pass ``resident=True`` and
+an optional precomputed ``calibration``: the in-process worker pipeline is
+then kept in a per-thread resident cache across ``execute`` calls, so a
+repeated job over the same dataset skips both the calibration pass and the
+device score-table upload (the hit/miss counters surface through
+:func:`resident_stats`).
+
 Failure handling (exercised deliberately by :mod:`repro.faults`):
 
 * a failing shard is re-dispatched with deterministic, jitter-free
@@ -35,16 +48,17 @@ with or without injected faults, retries and resumes.
 
 from __future__ import annotations
 
+import contextlib
 import os
+import threading
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional
 
 import numpy as np
 
-from ..api import Engine, create_pipeline, resolve_engine
-from ..constants import DEFAULT_WINDOW_GSNP
-from ..core.likelihood import OPTIMIZED, LikelihoodVariant
+from ..api import Engine, JobSpec, create_pipeline, effective_window
 from ..errors import AllocationError, PipelineError, ShardError, ShardTimeout
 from ..faults.degrade import degrade, logger as fault_logger
 from ..faults.journal import ShardJournal, run_fingerprint
@@ -65,7 +79,13 @@ from .shard import ShardResult, plan_shards
 
 @dataclass(frozen=True)
 class ExecConfig:
-    """Knobs of the sharded executor."""
+    """Knobs of the sharded executor.
+
+    Job-level fields mirror :class:`~repro.api.JobSpec` — build this via
+    :meth:`from_spec` rather than spelling them again.  The remaining
+    fields (retry budget, queue depth, pool selection, backoff) are
+    executor tuning that no job should need to carry on the wire.
+    """
 
     workers: int = 1
     #: Sites per shard; ``None`` = ~4 shards per worker.  Snapped up to a
@@ -104,47 +124,136 @@ class ExecConfig:
     #: (translated onto the ``exec.shard.error`` fault site).
     inject_failures: Mapping[int, int] = field(default_factory=dict)
 
+    @classmethod
+    def from_spec(cls, spec: JobSpec) -> "ExecConfig":
+        """The executor knobs a :class:`~repro.api.JobSpec` pins.
 
-# Worker-side state, installed once per worker process by the pool
-# initializer (or once in-process by the serial fallback).
-_WORKER_STATE: dict = {}
+        This is the one sanctioned translation from job description to
+        executor configuration (``gsnp-lint`` GSNP108 flags ad-hoc
+        re-spellings elsewhere).
+        """
+        return cls(  # gsnp-lint: disable=GSNP108
+            workers=spec.workers,
+            shard_size=spec.shard_size,
+            prefetch=spec.prefetch,
+            cache=spec.cache,
+            fusion=spec.fusion,
+            shard_timeout=spec.shard_timeout,
+            faults=spec.faults,
+            journal_dir=spec.journal,
+            resume=spec.resume,
+            quarantine=spec.quarantine,
+        )
+
+
+# Worker-side state, installed by the pool initializer.  Thread-local
+# rather than a bare module global: the serve daemon runs several serial
+# in-process jobs on concurrent threads, each with its own state.
+_WORKER_TLS = threading.local()
+
+# Resident worker pipelines that outlive a single ``execute`` call, keyed
+# by thread ident then pipeline identity.  Devices are only ever touched
+# by their owning thread; the lock guards the outer map so a stats reader
+# on another thread can aggregate the counters safely.
+_RESIDENT_LOCK = threading.Lock()
+_RESIDENT: dict[int, dict] = {}
+
+
+def _worker_state() -> dict:
+    return _WORKER_TLS.state
+
+
+def _resident_pipelines() -> dict:
+    ident = threading.get_ident()
+    with _RESIDENT_LOCK:
+        return _RESIDENT.setdefault(ident, {})
+
+
+def _resident_key(spec: JobSpec) -> tuple:
+    return (
+        spec.engine, spec.window, spec.variant_name,
+        spec.prefetch, spec.cache, spec.fusion, spec.megabatch,
+    )
+
+
+def resident_stats() -> dict:
+    """Aggregate counters over every thread's resident worker pipelines.
+
+    ``table_hits``/``table_misses`` come from the underlying
+    :class:`~repro.gpusim.residency.DeviceResidency` caches — a hit means
+    a job reused already-uploaded score tables instead of re-uploading.
+    """
+    with _RESIDENT_LOCK:
+        per_thread = [dict(p) for p in _RESIDENT.values()]
+    stats = {"pipelines": 0, "table_hits": 0, "table_misses": 0}
+    for pipes in per_thread:
+        stats["pipelines"] += len(pipes)
+        for pipe in pipes.values():
+            res = getattr(getattr(pipe, "_cached_device", None), "resident",
+                          None)
+            if res is not None:
+                stats["table_hits"] += res.hits
+                stats["table_misses"] += res.misses
+    return stats
+
+
+def release_resident() -> None:
+    """Drop every thread's resident pipelines (and their device caches)."""
+    with _RESIDENT_LOCK:
+        per_thread = list(_RESIDENT.values())
+        _RESIDENT.clear()
+    for pipes in per_thread:
+        for pipe in pipes.values():
+            release = getattr(pipe, "release_cache", None)
+            if release is not None:
+                release()
 
 
 def _init_worker(state: dict) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = state
-    from ..faults.plan import install_plan
+    _WORKER_TLS.state = state
+    if state.get("faults") is not None:
+        from ..faults.plan import install_plan
 
-    install_plan(state.get("faults"))
+        install_plan(state["faults"])
+
+
+def _pipeline_spec(spec: JobSpec, *, degraded: bool = False) -> JobSpec:
+    """The worker pipeline's view of the job (degradation rung applied)."""
+    if degraded:
+        return replace(spec, prefetch=False, cache=False, fusion=False)
+    return spec
 
 
 def _make_pipeline(st: dict, *, degraded: bool = False):
     return create_pipeline(
-        st["engine"],
+        spec=_pipeline_spec(st["spec"], degraded=degraded),
         params=st["params"],
-        window_size=st["window_size"],
-        variant=st["variant"],
-        prefetch=False if degraded else st.get("prefetch"),
-        cache=False if degraded else st.get("cache"),
-        fusion=False if degraded else st.get("fusion"),
     )
 
 
 def _run_shard(task) -> ShardResult:
     """Execute one shard in the worker; the unit the pool retries."""
     shard, batch, attempt = task
-    st = _WORKER_STATE
+    st = _worker_state()
+    spec: JobSpec = st["spec"]
+    resident = bool(st.get("resident")) and spec.cache
     with fault_scope(shard=shard.index, attempt=attempt):
         fault_point("exec.worker.crash", key=shard.index)
         fault_point("exec.shard.error", key=shard.index)
         fault_point("exec.shard.slow", key=shard.index)
         pipeline = st.get("pipeline")
+        if pipeline is None and resident:
+            # Outlive this job: a later job with the same pipeline shape
+            # reuses the device and its uploaded tables.
+            pipeline = _resident_pipelines().get(_resident_key(spec))
         if pipeline is None:
             pipeline = _make_pipeline(st)
-            if st.get("cache", True):
-                # Persist across this worker's shards: the device score
-                # tables upload exactly once per worker process.
-                st["pipeline"] = pipeline
+        if spec.cache:
+            # Persist across this worker's shards: the device score
+            # tables upload exactly once per worker process.
+            st["pipeline"] = pipeline
+            if resident:
+                _resident_pipelines()[_resident_key(spec)] = pipeline
         run_kwargs = dict(
             site_range=(shard.start, shard.end),
             calibration=st["calibration"],
@@ -167,6 +276,8 @@ def _run_shard(task) -> ShardResult:
                 attempt=attempt,
             )
             st.pop("pipeline", None)
+            if resident:
+                _resident_pipelines().pop(_resident_key(spec), None)
             from ..gpusim.memory import set_fast_paths
 
             prev_fast = set_fast_paths(False)
@@ -360,19 +471,60 @@ def _effective_plan(config: ExecConfig) -> Optional[FaultPlan]:
     return FaultPlan(config.faults.specs + specs, seed=config.faults.seed)
 
 
+#: ``execute`` kwargs that survive the JobSpec redesign: pure executor
+#: tuning with no JobSpec field, allowed alongside ``spec=``.
+_EXECUTOR_ONLY_KWARGS = (
+    "max_retries", "backlog", "force_serial", "backoff_base",
+    "inject_failures",
+)
+
+
+def _legacy_spec(engine, window_size, variant, config: ExecConfig) -> JobSpec:
+    """Fold the legacy ``execute`` spelling into a JobSpec."""
+    values: dict = {
+        "engine": str(engine) if engine is not None else Engine.GSNP.value,
+        "prefetch": config.prefetch,
+        "cache": config.cache,
+        "fusion": config.fusion,
+        "workers": config.workers,
+        "shard_size": config.shard_size,
+        "shard_timeout": config.shard_timeout,
+        "journal": config.journal_dir,
+        "resume": config.resume,
+        "quarantine": config.quarantine,
+        "faults": config.faults,
+    }
+    if window_size is not None:
+        values["window"] = window_size
+    if variant is not None:
+        values["variant"] = variant
+    return JobSpec(**values)
+
+
 def execute(
     dataset,
-    engine: Engine | str = Engine.GSNP,
+    engine: Engine | str | None = None,
     *,
+    spec: Optional[JobSpec] = None,
     params=None,
-    window_size: int = DEFAULT_WINDOW_GSNP,
-    variant: LikelihoodVariant = OPTIMIZED,
+    window_size: Optional[int] = None,
+    variant=None,
     output_path=None,
     soap_path=None,
     config: Optional[ExecConfig] = None,
+    calibration=None,
+    resident: bool = False,
     **config_kwargs,
 ):
     """Run a calling job as parallel window-aligned shards.
+
+    The canonical call is ``execute(dataset, spec=JobSpec(...))`` — the
+    spec carries every job-level knob and :meth:`ExecConfig.from_spec`
+    derives the executor configuration; executor-only tuning
+    (``max_retries``, ``backlog``, ``force_serial``, ``backoff_base``,
+    ``inject_failures``) may still be passed as keywords.  The legacy
+    spelling (``engine`` plus ``window_size``/``variant``/job keywords)
+    keeps working through a shim that emits a ``DeprecationWarning``.
 
     Returns the engine's own result type with tables, compressed output
     and merged event counters bitwise/exactly equal to the serial path;
@@ -381,25 +533,61 @@ def execute(
     shard inputs to incremental streaming from that SOAP file via
     :class:`~repro.formats.stream.ShardBatchReader`.
 
-    ``config_kwargs`` (``workers=4``, ``shard_size=...``,
-    ``shard_timeout=...``, ``journal_dir=...``, ``resume=True``, ...) are
-    a shorthand for building :class:`ExecConfig`.
+    Long-lived callers pass ``calibration=`` (a previously computed
+    calibration for this dataset/engine/params, skipping the input pass)
+    and ``resident=True`` (keep the in-process worker pipeline, device and
+    uploaded tables in a per-thread cache across calls; implies the serial
+    pool so the resident device stays thread-confined).
     """
-    if config is None:
-        config = ExecConfig(**config_kwargs)
-    elif config_kwargs:
-        config = replace(config, **config_kwargs)
-    engine = resolve_engine(engine)
+    if spec is not None:
+        stray = {
+            k: v for k, v in config_kwargs.items()
+            if k not in _EXECUTOR_ONLY_KWARGS
+        }
+        if engine is not None or window_size is not None \
+                or variant is not None or config is not None or stray:
+            raise ValueError(
+                "execute(spec=...) does not combine with the legacy "
+                "engine/window_size/variant/config kwargs: set those "
+                "fields on the JobSpec instead"
+            )
+        spec = spec.validate().normalized()
+        config = ExecConfig.from_spec(spec)
+        if resident:
+            config_kwargs.setdefault("force_serial", True)
+        if config_kwargs:
+            config = replace(config, **config_kwargs)
+    else:
+        legacy = [k for k in config_kwargs if k not in _EXECUTOR_ONLY_KWARGS]
+        if window_size is not None:
+            legacy.append("window_size")
+        if variant is not None:
+            legacy.append("variant")
+        if legacy:
+            warnings.warn(
+                "execute(" + ", ".join(f"{k}=..." for k in sorted(legacy))
+                + ") is deprecated; pass spec=JobSpec(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if config is None:
+            config = ExecConfig(**config_kwargs)
+        elif config_kwargs:
+            config = replace(config, **config_kwargs)
+        spec = _legacy_spec(engine, window_size, variant, config)
     plan = _effective_plan(config)
 
-    # The parent-side pipeline fixes the effective window (registry caps)
-    # and runs the one-time calibration pass.
-    pipeline = create_pipeline(
-        engine, params=params, window_size=window_size, variant=variant
-    )
-    eff_window = pipeline.window_size
-    reads = AlignmentBatch.from_read_set(dataset.reads)
-    calibration = pipeline.calibrate(dataset, reads=reads)
+    eff_window = effective_window(spec.engine, spec.window)
+    variant_obj = spec.resolved_variant()
+
+    # The one-time calibration pass — skipped entirely when the caller
+    # supplies a cached calibration for this dataset/engine/params.
+    if calibration is None:
+        pipeline = create_pipeline(
+            spec=replace(spec, faults=None), params=params
+        )
+        reads = AlignmentBatch.from_read_set(dataset.reads)
+        calibration = pipeline.calibrate(dataset, reads=reads)
     shards = plan_shards(
         dataset.n_sites, eff_window, config.shard_size, config.workers
     )
@@ -411,9 +599,9 @@ def execute(
     committed: dict[int, ShardResult] = {}
     if config.journal_dir is not None:
         fingerprint = run_fingerprint(
-            str(engine),
+            spec.engine,
             eff_window,
-            getattr(variant, "name", str(variant)),
+            variant_obj.name,
             dataset.n_sites,
             [(s.start, s.end) for s in shards],
             calibration,
@@ -430,16 +618,14 @@ def execute(
 
     streaming = soap_path is not None
     state = {
-        "engine": str(engine),
+        "spec": replace(
+            spec, window=eff_window, variant=variant_obj, faults=None
+        ),
         "params": params,
-        "window_size": eff_window,
-        "variant": variant,
         "dataset": _dataset_without_reads(dataset) if streaming else dataset,
         "calibration": calibration.strip(),
-        "prefetch": config.prefetch,
-        "cache": config.cache,
-        "fusion": config.fusion,
         "faults": plan,
+        "resident": resident,
     }
     if streaming:
         batches = ShardBatchReader(
@@ -462,7 +648,11 @@ def execute(
     t0 = time.perf_counter()
     results: list[ShardResult] = list(committed.values())
     retries_used = 0
-    with fault_plan(plan):
+    # Installing the plan is process-global; skip the install entirely for
+    # plan-free jobs so concurrent serve threads don't clear each other's
+    # schedules.
+    ambient = fault_plan(plan) if plan is not None else contextlib.nullcontext()
+    with ambient:
         pool = make_pool(
             config.workers,
             initializer=_init_worker,

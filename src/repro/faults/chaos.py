@@ -84,18 +84,24 @@ def _load_dataset(fasta, soap, prior, max_attempts: int = 3):
     ) from last
 
 
-def _execute(dataset, engine, *, workers, output, **kwargs):
+def _execute(
+    dataset, engine, *, workers, output, faults=None, journal_dir=None,
+    resume=False, shard_timeout=None, **exec_kwargs,
+):
+    from ..api import JobSpec
     from ..exec import execute
 
-    return execute(
-        dataset,
-        engine,
-        window_size=WINDOW,
-        output_path=output,
+    spec = JobSpec(
+        engine=engine,
+        window=WINDOW,
         workers=workers,
         shard_size=SHARD_SIZE,
-        **kwargs,
+        faults=faults,
+        journal=journal_dir,
+        resume=resume,
+        shard_timeout=shard_timeout,
     )
+    return execute(dataset, spec=spec, output_path=output, **exec_kwargs)
 
 
 def _demo_plan(seed: int, n_shards: int, *, timeout_demo: bool) -> FaultPlan:

@@ -22,8 +22,10 @@ for a finished one.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
+import threading
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
@@ -149,13 +151,96 @@ class ShardJournal:
         return out
 
 
+def atomic_write_json(path, payload: dict) -> None:
+    """Atomically serialize ``payload`` as JSON at ``path``."""
+    blob = json.dumps(payload, sort_keys=True).encode() + b"\n"
+    with atomic_output(path) as f:
+        f.write(blob)
+
+
+class JobLedger:
+    """Durable record of accepted service jobs: the daemon's recovery log.
+
+    ``gsnp-serve`` records every admitted job *before* scheduling it and
+    marks it done only *after* the output bytes are atomically in place.
+    A daemon killed at any instant therefore restarts to a ledger whose
+    pending records are exactly the jobs whose output cannot be trusted —
+    it re-enqueues them (with ``resume=True`` so their shard journals are
+    honoured) and produces bitwise-identical output.
+
+    One JSON file per job under ``root/`` (``<job_id>.json``), each
+    written atomically; marking done rewrites the record with
+    ``state="done"``.  Records are tiny (a JobSpec wire payload plus
+    bookkeeping), so a scan of the directory on startup is cheap.
+    """
+
+    def __init__(self, root) -> None:
+        self.dir = Path(root)
+        self.dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, job_id: str) -> Path:
+        return self.dir / f"{job_id}.json"
+
+    def record(self, job_id: str, payload: dict) -> None:
+        """Durably record an admitted job (state ``pending``)."""
+        atomic_write_json(
+            self._path(job_id),
+            {"job_id": job_id, "state": "pending", **payload},
+        )
+
+    def _mark(self, job_id: str, state: str) -> None:
+        entry = self.get(job_id)
+        if entry is None:
+            entry = {"job_id": job_id}
+        entry["state"] = state
+        atomic_write_json(self._path(job_id), entry)
+
+    def mark_done(self, job_id: str) -> None:
+        """Flip a job's record to ``done`` (idempotent)."""
+        self._mark(job_id, "done")
+
+    def mark_failed(self, job_id: str) -> None:
+        """Flip a job's record to ``failed`` — it will NOT be recovered
+        (a deterministic failure would otherwise re-run on every
+        restart)."""
+        self._mark(job_id, "failed")
+
+    def forget(self, job_id: str) -> None:
+        """Drop a job's record entirely (rejected/cancelled jobs)."""
+        self._path(job_id).unlink(missing_ok=True)
+
+    def get(self, job_id: str) -> Optional[dict]:
+        """One job's record, or ``None`` (torn/corrupt reads as ``None``)."""
+        try:
+            return json.loads(self._path(job_id).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def pending(self) -> list[dict]:
+        """Every recorded job not yet marked done, oldest first."""
+        out = []
+        for p in sorted(self.dir.glob("*.json")):
+            try:
+                entry = json.loads(p.read_text())
+            except (OSError, ValueError):
+                continue  # torn record: the job never finished admission
+            if entry.get("state") == "pending":
+                out.append(entry)
+        return out
+
+
 @contextmanager
 def atomic_output(path):
-    """Open ``<path>.part`` for binary write; rename to ``path`` only on
-    clean exit.  On error the partial file is removed — a final output
-    file either exists complete or not at all."""
+    """Open ``<path>.<pid>-<tid>.part`` for binary write; rename to
+    ``path`` only on clean exit.  On error the partial file is removed —
+    a final output file either exists complete or not at all.  The temp
+    name is process- and thread-unique so concurrent writers of the same
+    target (serve worker threads racing on a shared cache entry) cannot
+    clobber each other's partial file; last rename wins."""
     path = Path(path)
-    tmp = path.with_name(path.name + ".part")
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}-{threading.get_ident()}.part"
+    )
     f = open(tmp, "wb")
     try:
         yield f
@@ -172,8 +257,10 @@ def atomic_output(path):
 
 __all__ = [
     "JOURNAL_VERSION",
+    "JobLedger",
     "JournalError",
     "ShardJournal",
     "atomic_output",
+    "atomic_write_json",
     "run_fingerprint",
 ]

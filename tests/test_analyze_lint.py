@@ -478,5 +478,5 @@ class TestDiagnostic:
     def test_rule_table_complete(self):
         assert set(RULES) == {
             "GSNP100", "GSNP101", "GSNP102", "GSNP103", "GSNP104",
-            "GSNP105", "GSNP106", "GSNP107",
+            "GSNP105", "GSNP106", "GSNP107", "GSNP108",
         }

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.gpusim",
     "repro.gpusim.primitives",
     "repro.seqsim",
+    "repro.serve",
     "repro.soapsnp",
     "repro.sortnet",
     "repro.stats",

@@ -1,0 +1,393 @@
+"""gsnp-serve and the JobSpec API: parity, caching, quotas, recovery.
+
+The load-bearing guarantees (ISSUE acceptance):
+
+* jobs served by the resident daemon — including concurrent ones — are
+  bitwise identical to a one-shot ``gsnp-call`` over the same inputs;
+* a repeated job hits the cross-job caches (calibration fingerprint and
+  device score-table residency), visible in ``/stats``;
+* per-tenant admission quotas reject at submit time;
+* a daemon killed mid-job resumes it on restart from the ledger + shard
+  journal and still produces bitwise-identical output;
+* :class:`repro.api.JobSpec` round-trips CLI args -> spec -> wire ->
+  spec, and the legacy kwarg spellings keep working via a deprecation
+  shim that ``gsnp-lint`` GSNP108 flags.
+"""
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.lint import lint_source
+from repro.api import JobSpec, create_pipeline
+from repro.cli import main_call
+from repro.exec import execute, release_resident, resident_stats
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.serve import (
+    GsnpServer,
+    ServeClient,
+    ServeConfig,
+    wait_for_server,
+)
+
+WINDOW = 400
+SITES = 1200
+
+
+@pytest.fixture(scope="module")
+def serve_inputs():
+    """Simulated input files, plus one-shot CLI reference bytes."""
+    root = Path(tempfile.mkdtemp(prefix="gsnp-serve-test-"))
+    from repro.align.records import AlignmentBatch
+    from repro.formats.fasta import write_fasta
+    from repro.formats.prior import write_prior
+    from repro.formats.soap import write_soap
+    from repro.seqsim.datasets import DatasetSpec, generate_dataset
+
+    ds = generate_dataset(DatasetSpec(
+        name="chrServe", n_sites=SITES, depth=8.0, coverage=0.9,
+        read_len=60, seed=11,
+    ))
+    fasta, soap, prior = (
+        str(root / "d.fa"), str(root / "d.soap"), str(root / "d.prior")
+    )
+    write_fasta(fasta, [ds.reference])
+    write_soap(soap, AlignmentBatch.from_read_set(ds.reads))
+    write_prior(prior, ds.reference.name, ds.prior)
+    ref = root / "ref.cns"
+    assert main_call([
+        fasta, soap, "--prior", prior,
+        "--window", str(WINDOW), "-o", str(ref),
+    ]) == 0
+    yield {
+        "root": root, "fasta": fasta, "soap": soap, "prior": prior,
+        "ref_bytes": ref.read_bytes(),
+    }
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def _spec(inputs, output=None, **kwargs) -> JobSpec:
+    return JobSpec(
+        fasta=inputs["fasta"], soap=inputs["soap"], prior=inputs["prior"],
+        window=WINDOW, output=output, **kwargs,
+    )
+
+
+@pytest.fixture
+def server_factory():
+    """Build in-process daemons on short temp sockets; cleans up after."""
+    servers, dirs = [], []
+
+    def make(**overrides):
+        root = Path(tempfile.mkdtemp(prefix="gsnp-srv-"))
+        dirs.append(root)
+        cfg = dict(
+            socket_path=str(root / "s.sock"),
+            state_dir=str(root / "state"),
+            workers=1,
+            max_queued=16,
+        )
+        cfg.update(overrides)
+        server = GsnpServer(ServeConfig(**cfg))
+        server.start()
+        assert wait_for_server(cfg["socket_path"], timeout=10.0)
+        servers.append(server)
+        return server, ServeClient(cfg["socket_path"])
+
+    yield make
+    for server in servers:
+        server.shutdown(drain=False)
+        server.close()
+    release_resident()
+    for root in dirs:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+class TestJobSpecApi:
+    def test_cli_to_spec_to_wire_roundtrip(self):
+        p = argparse.ArgumentParser()
+        JobSpec.add_cli_args(p)
+        args = p.parse_args([
+            "a.fa", "a.soap", "--prior", "a.prior", "--engine", "gsnp_cpu",
+            "--window", "1000", "--workers", "3", "--shard-size", "500",
+            "--no-prefetch", "--no-cache", "--fusion", "--megabatch", "4",
+            "--compressed", "--min-quality", "20", "--variant", "optimized",
+        ])
+        spec = JobSpec.from_cli_args(args)
+        assert spec.engine == "gsnp_cpu"
+        assert spec.window == 1000
+        assert spec.workers == 3 and spec.shard_size == 500
+        assert spec.prefetch is False and spec.cache is False
+        assert spec.fusion is True and spec.megabatch == 4
+        assert spec.compressed is True and spec.min_quality == 20
+        assert JobSpec.from_wire(spec.to_wire()) == spec
+
+    def test_wire_faults_roundtrip(self):
+        plan = FaultPlan(
+            (FaultSpec(site="exec.shard.slow", kind="slow", key=1,
+                       times=2, arg=0.5),),
+            seed=7,
+        )
+        spec = JobSpec(fasta="a", soap="b", faults=plan)
+        back = JobSpec.from_wire(spec.to_wire())
+        # FaultPlan has no __eq__; compare the wire forms and contents.
+        assert back.to_wire() == spec.to_wire()
+        assert back.faults.specs == plan.specs
+        assert back.faults.seed == plan.seed
+
+    def test_wire_rejects_unknown_fields_and_versions(self):
+        wire = JobSpec().to_wire()
+        with pytest.raises(ValueError, match="unknown JobSpec field"):
+            JobSpec.from_wire({**wire, "windw": 5})
+        with pytest.raises(ValueError, match="wire version"):
+            JobSpec.from_wire({**wire, "version": 99})
+
+    def test_validate_rejects_incoherent_specs(self):
+        with pytest.raises(ValueError, match="journal"):
+            JobSpec(resume=True).validate()
+        with pytest.raises(ValueError, match="sanitize"):
+            JobSpec(sanitize=True, workers=2).validate()
+        with pytest.raises(ValueError, match="workers"):
+            JobSpec(workers=0).validate()
+        with pytest.raises(ValueError, match="inputs"):
+            JobSpec().validate(require_inputs=True)
+
+    def test_normalized_gives_serial_journal_shards(self):
+        spec = JobSpec(window=512, journal="j").normalized()
+        assert spec.shard_size == 512
+        assert JobSpec(window=512).normalized().shard_size is None
+
+
+class TestDeprecationShim:
+    def test_create_pipeline_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="spec=JobSpec"):
+            pipe = create_pipeline("gsnp", window_size=512)
+        assert pipe.window_size == 512
+
+    def test_create_pipeline_spec_plus_legacy_is_an_error(self):
+        with pytest.raises(ValueError, match="does not combine"):
+            create_pipeline(spec=JobSpec(), window_size=512)
+
+    def test_execute_legacy_kwargs_warn(self, small_dataset):
+        with pytest.warns(DeprecationWarning, match="spec=JobSpec"):
+            res = execute(small_dataset, "gsnp", window_size=512, workers=2)
+        assert res.table.n_sites == small_dataset.n_sites
+
+    def test_unexposed_toggle_warns_instead_of_silent_drop(self):
+        with pytest.warns(RuntimeWarning, match="does not expose"):
+            create_pipeline(spec=JobSpec(engine="soapsnp", fusion=True))
+
+
+class TestLintLegacyKwargs:
+    def test_flags_legacy_call_sites(self):
+        src = (
+            "pipe = create_pipeline('gsnp', window_size=512, cache=False)\n"
+            "cfg = ExecConfig(workers=4, journal_dir='j')\n"
+            "res = execute(ds, 'gsnp', workers=2)\n"
+        )
+        diags = [d for d in lint_source(src) if d.rule == "GSNP108"]
+        assert len(diags) == 3
+
+    def test_spec_call_sites_are_clean(self):
+        src = (
+            "pipe = create_pipeline(spec=JobSpec(window=512))\n"
+            "res = execute(ds, spec=spec, resident=True)\n"
+        )
+        assert not [d for d in lint_source(src) if d.rule == "GSNP108"]
+
+    def test_suppression_comment(self):
+        src = (
+            "cfg = ExecConfig(workers=4)"
+            "  # gsnp-lint: disable=GSNP108\n"
+        )
+        assert not [d for d in lint_source(src) if d.rule == "GSNP108"]
+
+
+class TestServeParity:
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_concurrent_jobs_match_one_shot_cli(
+        self, serve_inputs, server_factory, n_jobs
+    ):
+        server, client = server_factory(workers=max(2, n_jobs))
+        root = serve_inputs["root"]
+        outs = [root / f"par-{n_jobs}-{i}.cns" for i in range(n_jobs)]
+        results = [None] * n_jobs
+
+        def run(i):
+            results[i] = client.submit(
+                _spec(serve_inputs, output=str(outs[i])), tenant=f"t{i}"
+            )
+
+        threads = [
+            threading.Thread(target=run, args=(i,)) for i in range(n_jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        for i, r in enumerate(results):
+            assert r is not None and r.status == "done", (i, r and r.error)
+            assert outs[i].read_bytes() == serve_inputs["ref_bytes"]
+
+    def test_inline_job_streams_identical_bytes(
+        self, serve_inputs, server_factory
+    ):
+        server, client = server_factory()
+        r = client.submit(_spec(serve_inputs))
+        assert r.status == "done"
+        assert r.output == serve_inputs["ref_bytes"]
+        assert "sites" in r.summary
+
+
+class TestResidentCaches:
+    def test_repeated_job_hits_calibration_and_tables(
+        self, serve_inputs, server_factory
+    ):
+        server, client = server_factory(workers=1)
+        out = serve_inputs["root"] / "cache.cns"
+        first = client.submit(_spec(serve_inputs, output=str(out)))
+        assert first.status == "done"
+        stats0 = client.stats()
+        second = client.submit(_spec(serve_inputs, output=str(out)))
+        assert second.status == "done"
+        stats1 = client.stats()
+        cal0 = stats0["runner"]["calibration"]
+        cal1 = stats1["runner"]["calibration"]
+        assert cal1["hits"] > cal0["hits"]
+        assert cal1["misses"] == cal0["misses"]
+        assert stats1["runner"]["datasets"]["hits"] > 0
+        # Same worker thread, same resident pipeline: the repeat job's
+        # score-table upload is a residency hit, not a re-upload.
+        assert (
+            stats1["resident"]["table_hits"]
+            > stats0["resident"]["table_hits"]
+        )
+        assert out.read_bytes() == serve_inputs["ref_bytes"]
+
+
+class TestAdmission:
+    def test_tenant_quota_rejects_at_submit(
+        self, serve_inputs, server_factory
+    ):
+        server, client = server_factory(workers=1, tenant_quota=1)
+        stall = FaultPlan((FaultSpec(
+            site="exec.shard.slow", kind="slow", key=0, times=1, arg=0.75,
+        ),))
+        out1 = serve_inputs["root"] / "q1.cns"
+        r1 = client.submit(
+            _spec(serve_inputs, output=str(out1), faults=stall),
+            tenant="alpha", wait=False,
+        )
+        assert r1.status == "accepted"
+        over = client.submit(_spec(serve_inputs), tenant="alpha", wait=False)
+        assert over.status == "rejected" and over.code == "quota"
+        other = client.submit(_spec(serve_inputs), tenant="beta")
+        assert other.status == "done"
+        done = client.wait(r1.job_id)
+        assert done.status == "done"
+        assert out1.read_bytes() == serve_inputs["ref_bytes"]
+        assert client.stats()["scheduler"]["rejected"] == 1
+
+    def test_invalid_specs_rejected_with_code(
+        self, serve_inputs, server_factory
+    ):
+        server, client = server_factory()
+        missing = client.submit(JobSpec())
+        assert missing.status == "rejected" and missing.code == "invalid"
+        journaled = client.submit(_spec(serve_inputs, journal="/tmp/x"))
+        assert journaled.status == "rejected"
+        assert journaled.code == "invalid"
+        assert "daemon" in journaled.error
+
+
+class TestCrashRecovery:
+    def _daemon_argv(self, sock, state):
+        code = (
+            "import sys; from repro.cli import main_serve; "
+            f"sys.exit(main_serve(['--socket', {str(sock)!r}, "
+            f"'--state-dir', {str(state)!r}, '--workers', '1']))"
+        )
+        return [sys.executable, "-c", code]
+
+    def _env(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return env
+
+    def test_kill_mid_job_restart_resumes_bitwise(self, serve_inputs):
+        root = Path(tempfile.mkdtemp(prefix="gsnp-kill-"))
+        sock, state = root / "s.sock", root / "state"
+        out = root / "recovered.cns"
+        proc = subprocess.Popen(
+            self._daemon_argv(sock, state), env=self._env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            assert wait_for_server(str(sock), timeout=30.0)
+            client = ServeClient(str(sock))
+            # Stall shard 1 long enough to guarantee the kill lands
+            # mid-job, after shard 0 has committed to the journal.
+            stall = FaultPlan((FaultSpec(
+                site="exec.shard.slow", kind="slow", key=1, times=1, arg=3.0,
+            ),))
+            r = client.submit(
+                _spec(serve_inputs, output=str(out), faults=stall),
+                wait=False,
+            )
+            assert r.status == "accepted"
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if list(state.glob("journal/**/shard-*.pkl")):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("no shard committed before the kill")
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+            assert not out.exists()  # output is atomic: all or nothing
+
+            proc = subprocess.Popen(
+                self._daemon_argv(sock, state), env=self._env(),
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            assert wait_for_server(str(sock), timeout=30.0)
+            client = ServeClient(str(sock))
+            stats = client.stats()
+            assert r.job_id in stats["recovered_jobs"]
+            done = client.wait(r.job_id)
+            assert done.status == "done", done.error
+            assert done.events[-1]["recovered"] is True
+            assert out.read_bytes() == serve_inputs["ref_bytes"]
+            # The calibration store survived the kill: the resumed run
+            # skipped the input pass via a disk hit.
+            cal = client.stats()["runner"]["calibration"]
+            assert cal["hits_disk"] >= 1
+            client.shutdown(drain=True)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            shutil.rmtree(root, ignore_errors=True)
+
+
+class TestServeStats:
+    def test_ping_and_stats_shape(self, serve_inputs, server_factory):
+        server, client = server_factory()
+        pong = client.ping()
+        assert pong["event"] == "pong" and pong["accepting"] is True
+        stats = client.stats()
+        for key in ("scheduler", "runner", "resident", "recovered_jobs"):
+            assert key in stats
+        assert stats["scheduler"]["submitted"] == 0
+        assert resident_stats()["pipelines"] >= 0
