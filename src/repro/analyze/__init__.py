@@ -1,27 +1,71 @@
 """Static and runtime analysis enforcing the simulator's SIMT discipline.
 
-Two complementary tools guard the property every paper-level claim rests
-on — that *all* simulated kernel memory traffic is routed through
+Three complementary tools guard the property every paper-level claim
+rests on — that *all* simulated kernel memory traffic is routed through
 :class:`~repro.gpusim.kernel.KernelContext` and follows the lockstep idiom:
 
 * :mod:`repro.analyze.lint` — the ``gsnp-lint`` static AST checker that
   discovers kernel bodies and flags SIMT-discipline violations with
   ``file:line`` diagnostics.
+* :mod:`repro.analyze.dataflow` (with :mod:`repro.analyze.ir`) — the
+  ``gsnp-audit`` whole-kernel dataflow analyzer: abstract interpretation
+  over an affine-in-tid lattice that *proves* coalescing class per memory
+  op (GSNP201), provable static races (GSNP202), uninitialized global
+  reads (GSNP203), missing-barrier hazards (GSNP204), and says
+  ``unproven`` out loud when it cannot decide (GSNP205).
+  :mod:`repro.analyze.calibrate` cross-checks every proven coalescing
+  verdict against the simulator's runtime transaction counters.
 * :mod:`repro.analyze.sanitize` — the runtime sanitizer behind
   ``Device(sanitize=True)`` (compute-sanitizer/racecheck-style): data
   races, read-after-write hazards, store/atomic mixing, uninitialized
   reads, and device-teardown leak checks.
+
+Kernel discovery (definitions, launch sites, and aliases) is shared
+between the tools via :mod:`repro.analyze.discover`; output formats
+(text / json / github) via :mod:`repro.analyze.report`.
 """
 
+from .calibrate import CalibrationReport, run_calibration, transaction_bound
+from .dataflow import (
+    AbstractValue,
+    KernelAudit,
+    ModuleAudit,
+    OpVerdict,
+    audit_file,
+    audit_paths,
+    audit_source,
+)
+from .discover import DiscoveredKernels, discover_kernels, iter_python_files
+from .ir import KernelIR, KernelOp, extract_kernel_ir, extract_module_ir
 from .lint import Diagnostic, RULES, lint_file, lint_paths, lint_source
+from .report import FORMATS, render_diagnostics
 from .sanitize import Sanitizer, SanitizerIssue
 
 __all__ = [
+    "AbstractValue",
+    "CalibrationReport",
     "Diagnostic",
+    "DiscoveredKernels",
+    "FORMATS",
+    "KernelAudit",
+    "KernelIR",
+    "KernelOp",
+    "ModuleAudit",
+    "OpVerdict",
     "RULES",
+    "Sanitizer",
+    "SanitizerIssue",
+    "audit_file",
+    "audit_paths",
+    "audit_source",
+    "discover_kernels",
+    "extract_kernel_ir",
+    "extract_module_ir",
+    "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
-    "Sanitizer",
-    "SanitizerIssue",
+    "render_diagnostics",
+    "run_calibration",
+    "transaction_bound",
 ]

@@ -1,0 +1,373 @@
+"""Per-kernel IR extraction for the static dataflow auditor.
+
+``gsnp-audit`` does not analyze raw ASTs: it first lowers every kernel
+body into a flat list of :class:`KernelOp` records — one per routed
+memory operation (``ctx.gload`` / ``ctx.gstore`` / ``ctx.gatomic_add`` /
+``ctx.cload``), shared-memory note (``ctx.note_shared``) and barrier
+(``ctx.syncthreads``) — annotated with
+
+* the *symbolic index expression* (the untouched AST of the index
+  operand, plus its source text for messages),
+* the *active mask* discipline (absent, explicit ``active=None``
+  full-warp assertion, or a real mask expression),
+* the *barrier region* (a counter that increments at every
+  ``syncthreads`` on the same straight-line path),
+* the innermost containing loop (and whether that loop body contains a
+  barrier — the cross-iteration hazard criterion), and
+* the conditional-branch path (which arm of which ``if`` the op sits
+  in; host-uniform branches are mutually exclusive within one launch).
+
+The abstract interpreter in :mod:`repro.analyze.dataflow` consumes this
+IR.  Extraction is purely syntactic: no values are evaluated here.
+
+One simulator-specific subtlety handled here is *ctx-method aliasing*::
+
+    probe = ctx.cload if haystack.space == "constant" else ctx.gload
+    v = probe(haystack, idx, active=active)
+
+The binary-search kernel uses exactly this pattern; ``probe(...)`` is
+recorded as a routed load (kind ``gload``, the conservative choice for
+coalescing analysis) with the alias noted.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .discover import discover_kernels
+
+#: Routed memory methods on :class:`repro.gpusim.kernel.KernelContext`.
+CTX_MEM_METHODS: frozenset[str] = frozenset(
+    {"gload", "gstore", "gatomic_add", "cload"}
+)
+#: Methods that read global/constant memory.
+CTX_LOADS: frozenset[str] = frozenset({"gload", "cload"})
+#: Methods that write global memory.
+CTX_STORES: frozenset[str] = frozenset({"gstore", "gatomic_add"})
+
+#: Positional index of the ``active`` argument per method.
+_ACTIVE_ARG_POS: dict[str, int] = {
+    "gload": 2, "cload": 2, "gstore": 3, "gatomic_add": 3,
+}
+
+#: Sentinel mask kinds.
+MASK_FULL_DEFAULT = "full-default"   # no active argument at all
+MASK_FULL_ASSERT = "full-assert"     # explicit active=None
+MASK_MASKED = "masked"               # a real mask expression
+
+
+@dataclass(frozen=True)
+class MaskInfo:
+    """How one op addresses warp divergence."""
+
+    kind: str   # one of the MASK_* sentinels
+    text: str   # source text of the mask expression ("" when full)
+    node: Optional[ast.expr] = field(default=None, compare=False)
+
+    @property
+    def is_full(self) -> bool:
+        return self.kind != MASK_MASKED
+
+
+@dataclass
+class KernelOp:
+    """One routed memory / barrier operation inside a kernel body."""
+
+    kind: str                      # gload|gstore|gatomic_add|cload|
+                                   # syncthreads|note_shared
+    line: int
+    col: int
+    array_text: str = ""           # source text of the array operand
+    array_param: Optional[str] = None  # param name when operand is a param
+    index: Optional[ast.expr] = None   # symbolic index expression (AST)
+    index_text: str = ""
+    mask: MaskInfo = field(
+        default_factory=lambda: MaskInfo(MASK_FULL_DEFAULT, "")
+    )
+    region: int = 0                # barrier region id (increments at sync)
+    loop_id: Optional[int] = None  # id of innermost containing loop node
+    loop_line: Optional[int] = None
+    loop_has_barrier: bool = False
+    branch_path: tuple[tuple[int, int], ...] = ()
+    alias_of: Optional[str] = None  # local name when called via an alias
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind in CTX_LOADS
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind in CTX_STORES
+
+
+@dataclass
+class KernelIR:
+    """The lowered form of one kernel body."""
+
+    name: str
+    path: str
+    line: int
+    ctx_name: str
+    params: list[str]
+    ops: list[KernelOp]
+    n_barriers: int
+    func: ast.FunctionDef = field(repr=False)
+
+    def mem_ops(self) -> list[KernelOp]:
+        return [op for op in self.ops if op.kind in CTX_MEM_METHODS]
+
+
+def _source_text(node: Optional[ast.AST]) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:
+        return "<unprintable>"
+
+
+class _CtxAliasCollector(ast.NodeVisitor):
+    """Map local names bound to ctx memory methods.
+
+    Handles ``probe = ctx.gload``, ``probe = ctx.cload if cond else
+    ctx.gload`` and chains thereof.  The mapped value is the *set* of
+    methods the alias may denote.
+    """
+
+    def __init__(self, ctx_name: str) -> None:
+        self.ctx_name = ctx_name
+        self.aliases: dict[str, frozenset[str]] = {}
+
+    def _methods_of(self, node: ast.expr) -> frozenset[str]:
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in CTX_MEM_METHODS
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.ctx_name
+        ):
+            return frozenset({node.attr})
+        if isinstance(node, ast.IfExp):
+            return self._methods_of(node.body) | self._methods_of(node.orelse)
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, frozenset())
+        return frozenset()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        methods = self._methods_of(node.value)
+        if methods:
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    self.aliases[t.id] = methods
+        self.generic_visit(node)
+
+
+def _pick_alias_kind(methods: frozenset[str]) -> str:
+    """Collapse an alias's possible methods to one op kind.
+
+    Prefer the *global*-memory interpretation: for coalescing analysis a
+    gload is the conservative choice (cloads are broadcast-cached and
+    never counted as transactions)."""
+    for kind in ("gstore", "gatomic_add", "gload", "cload"):
+        if kind in methods:
+            return kind
+    return "gload"
+
+
+class _IRExtractor:
+    """Walk one kernel body in source order, emitting KernelOps."""
+
+    def __init__(self, func: ast.FunctionDef, path: str) -> None:
+        self.func = func
+        self.path = path
+        args = func.args
+        params = [a.arg for a in args.posonlyargs + args.args]
+        self.ctx_name = params[0] if params else "ctx"
+        self.params = params[1:]
+        collector = _CtxAliasCollector(self.ctx_name)
+        collector.visit(func)
+        self.ctx_aliases = collector.aliases
+        self.ops: list[KernelOp] = []
+        self.region = 0
+        self.n_barriers = 0
+        self.loop_stack: list[ast.AST] = []
+        self.branch_stack: list[tuple[int, int]] = []
+        self._loops_with_barrier: set[int] = set()
+
+    # -- op emission -------------------------------------------------------
+
+    def _emit(self, node: ast.AST, kind: str, **kw: object) -> KernelOp:
+        loop = self.loop_stack[-1] if self.loop_stack else None
+        op = KernelOp(
+            kind=kind,
+            line=getattr(node, "lineno", self.func.lineno),
+            col=getattr(node, "col_offset", 0) + 1,
+            region=self.region,
+            loop_id=id(loop) if loop is not None else None,
+            loop_line=getattr(loop, "lineno", None),
+            branch_path=tuple(self.branch_stack),
+            **kw,  # type: ignore[arg-type]
+        )
+        self.ops.append(op)
+        return op
+
+    def _mask_info(self, call: ast.Call, kind: str) -> MaskInfo:
+        active: Optional[ast.expr] = None
+        present = False
+        pos = _ACTIVE_ARG_POS.get(kind)
+        if pos is not None and len(call.args) > pos:
+            active = call.args[pos]
+            present = True
+        for kw in call.keywords:
+            if kw.arg == "active":
+                active = kw.value
+                present = True
+        if not present:
+            return MaskInfo(MASK_FULL_DEFAULT, "")
+        if isinstance(active, ast.Constant) and active.value is None:
+            return MaskInfo(MASK_FULL_ASSERT, "None")
+        return MaskInfo(MASK_MASKED, _source_text(active), node=active)
+
+    def _emit_mem(self, call: ast.Call, kind: str,
+                  alias_of: Optional[str] = None) -> None:
+        arr = call.args[0] if call.args else None
+        idx = call.args[1] if len(call.args) > 1 else None
+        for kw in call.keywords:
+            if kw.arg in ("arr", "array"):
+                arr = kw.value
+            elif kw.arg in ("idx", "index"):
+                idx = kw.value
+        array_param: Optional[str] = None
+        if isinstance(arr, ast.Name) and arr.id in self.params:
+            array_param = arr.id
+        self._emit(
+            call, kind,
+            array_text=_source_text(arr),
+            array_param=array_param,
+            index=idx,
+            index_text=_source_text(idx),
+            mask=self._mask_info(call, kind),
+            alias_of=alias_of,
+        )
+
+    # -- traversal ---------------------------------------------------------
+
+    def run(self) -> KernelIR:
+        for stmt in self.func.body:
+            self._visit(stmt)
+        ops = self.ops
+        for op in ops:
+            if op.loop_id is not None:
+                op.loop_has_barrier = op.loop_id in self._loops_with_barrier
+        return KernelIR(
+            name=self.func.name,
+            path=self.path,
+            line=self.func.lineno,
+            ctx_name=self.ctx_name,
+            params=list(self.params),
+            ops=ops,
+            n_barriers=self.n_barriers,
+            func=self.func,
+        )
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not self.func:
+                return  # nested defs get their own IR if they are kernels
+            for stmt in node.body:
+                self._visit(stmt)
+            return
+        if isinstance(node, (ast.For, ast.While)):
+            self._visit_loop(node)
+            return
+        if isinstance(node, ast.If):
+            self._visit_if(node)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node)  # recurses into children itself
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self.loop_stack.append(node)
+        barriers_before = self.n_barriers
+        body = getattr(node, "body", [])
+        orelse = getattr(node, "orelse", [])
+        if isinstance(node, ast.For):
+            self._visit(node.iter)
+        elif isinstance(node, ast.While):
+            self._visit(node.test)
+        for stmt in body:
+            self._visit(stmt)
+        if self.n_barriers > barriers_before:
+            self._loops_with_barrier.add(id(node))
+        self.loop_stack.pop()
+        for stmt in orelse:
+            self._visit(stmt)
+
+    def _visit_if(self, node: ast.If) -> None:
+        self._visit(node.test)
+        # Each arm gets a distinct (if-node, arm) tag so the conflict
+        # checker can treat sibling arms as mutually exclusive.  Barriers
+        # inside an arm still advance the global region counter: a
+        # barrier under a host-uniform condition either runs for the
+        # whole launch or not at all, and advancing the region in both
+        # cases only ever *merges* fewer op pairs (conservative).
+        self.branch_stack.append((id(node), 0))
+        for stmt in node.body:
+            self._visit(stmt)
+        self.branch_stack.pop()
+        self.branch_stack.append((id(node), 1))
+        for stmt in node.orelse:
+            self._visit(stmt)
+        self.branch_stack.pop()
+
+    def _visit_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in CTX_MEM_METHODS:
+                self._emit_mem(node, func.attr)
+            elif func.attr == "syncthreads":
+                self.n_barriers += 1
+                self._emit(node, "syncthreads")
+                self.region += 1
+            elif func.attr == "note_shared":
+                self._emit(
+                    node, "note_shared",
+                    mask=self._mask_info(node, "note_shared"),
+                )
+        elif isinstance(func, ast.Name) and func.id in self.ctx_aliases:
+            kind = _pick_alias_kind(self.ctx_aliases[func.id])
+            self._emit_mem(node, kind, alias_of=func.id)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+
+def extract_kernel_ir(func: ast.FunctionDef, path: str) -> KernelIR:
+    """Lower one kernel body to its IR."""
+    return _IRExtractor(func, path).run()
+
+
+def extract_module_ir(tree: ast.Module, path: str) -> list[KernelIR]:
+    """Lower every discovered kernel in a parsed module."""
+    return [
+        extract_kernel_ir(func, path)
+        for func in discover_kernels(tree).kernels
+    ]
+
+
+__all__ = [
+    "CTX_MEM_METHODS",
+    "CTX_LOADS",
+    "CTX_STORES",
+    "MASK_FULL_DEFAULT",
+    "MASK_FULL_ASSERT",
+    "MASK_MASKED",
+    "MaskInfo",
+    "KernelOp",
+    "KernelIR",
+    "extract_kernel_ir",
+    "extract_module_ir",
+]

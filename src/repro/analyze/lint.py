@@ -42,22 +42,34 @@ GSNP108   legacy-pipeline-kwargs  ``create_pipeline`` / ``execute`` /
                                 arguments instead of a ``spec=JobSpec(...)``;
                                 the JobSpec dataclass is the single source of
                                 truth for job knobs (module-level rule)
+GSNP109   suppression-without-rationale  a ``# gsnp-lint: disable=`` comment
+                                with no explanatory comment on the same line
+                                or within two lines (opt-in via
+                                ``--require-rationale``; enforced in CI)
 ========  ====================  ==============================================
 
-Suppress a finding on its line with ``# gsnp-lint: disable=GSNP101`` (rule
-ids or names, comma-separated, or ``all``); suppressions are expected to
-carry a rationale comment nearby.
+Rules GSNP201–GSNP205 are registered here but emitted by the static
+dataflow auditor (:mod:`repro.analyze.dataflow`, the ``gsnp-audit`` CLI);
+see that module for their semantics.  All rules share one id space, one
+``RULES`` registry, and one suppression mechanism.
+
+Suppress a finding with ``# gsnp-lint: disable=GSNP101`` (rule ids or
+names, comma-separated, or ``all``) on the offending line; suppressions
+are expected to carry a rationale comment nearby (GSNP109 enforces this
+when asked).
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
-#: rule id -> short name
+from .discover import discover_kernels, iter_python_files
+
+#: rule id -> short name (shared by gsnp-lint and gsnp-audit)
 RULES: dict[str, str] = {
     "GSNP100": "parse-error",
     "GSNP101": "kernel-data-access",
@@ -68,7 +80,24 @@ RULES: dict[str, str] = {
     "GSNP106": "adhoc-fault-site",
     "GSNP107": "fusable-in-window-loop",
     "GSNP108": "legacy-pipeline-kwargs",
+    "GSNP109": "suppression-without-rationale",
+    # -- emitted by gsnp-audit (repro.analyze.dataflow) --------------------
+    "GSNP201": "access-pattern-verdict",
+    "GSNP202": "static-race",
+    "GSNP203": "static-uninit-read",
+    "GSNP204": "missing-barrier-hazard",
+    "GSNP205": "unproven-access",
 }
+
+#: Rules emitted by ``gsnp-lint`` itself (the rest belong to ``gsnp-audit``).
+LINT_RULES: frozenset[str] = frozenset(
+    r for r in RULES if r < "GSNP200"
+)
+
+#: Rules emitted by ``gsnp-audit`` (the dataflow analyzer).
+AUDIT_RULES: frozenset[str] = frozenset(
+    r for r in RULES if r >= "GSNP200"
+)
 
 _RULE_BY_NAME = {name: rid for rid, name in RULES.items()}
 
@@ -84,19 +113,37 @@ _THREAD_ATTRS = {"tid", "n_threads"}
 
 @dataclass(frozen=True, order=True)
 class Diagnostic:
-    """One lint finding, pointing at ``path:line:col``."""
+    """One finding, pointing at ``path:line:col``.
+
+    ``severity`` is ``"error"`` for findings that fail the build and
+    ``"note"`` for informational verdicts (GSNP201 access-pattern
+    classifications).  Notes never affect exit codes.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    severity: str = field(default="error", compare=False)
 
     def format(self) -> str:
+        tag = "" if self.severity == "error" else f" {self.severity}:"
         return (
-            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.path}:{self.line}:{self.col}:{tag} "
             f"{self.rule} [{RULES.get(self.rule, '?')}] {self.message}"
         )
+
+    def to_dict(self) -> dict[str, Union[str, int]]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "name": RULES.get(self.rule, "?"),
+            "severity": self.severity,
+            "message": self.message,
+        }
 
 
 def normalize_rules(rules: Optional[Iterable[str]]) -> Optional[set[str]]:
@@ -142,41 +189,6 @@ def _is_suppressed(
         or diag.rule in toks
         or RULES.get(diag.rule, "") in toks
     )
-
-
-class _KernelFinder(ast.NodeVisitor):
-    """Collect every function def plus every name passed to a launch site.
-
-    Launch sites are ``*.launch(...)`` (``Device.launch``) and
-    ``*.enqueue(...)`` (``DeviceStream.enqueue``, the pipelined launch
-    helper) — both take the kernel as their first argument.
-    """
-
-    _LAUNCH_ATTRS = ("launch", "enqueue")
-
-    def __init__(self) -> None:
-        self.defs: list[ast.FunctionDef] = []
-        self.launched: set[str] = set()
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self.defs.append(node)
-        self.generic_visit(node)
-
-    visit_AsyncFunctionDef = visit_FunctionDef
-
-    def visit_Call(self, node: ast.Call) -> None:
-        func = node.func
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in self._LAUNCH_ATTRS
-            and node.args
-        ):
-            target = node.args[0]
-            if isinstance(target, ast.Name):
-                self.launched.add(target.id)
-            elif isinstance(target, ast.Attribute):
-                self.launched.add(target.attr)
-        self.generic_visit(node)
 
 
 def _annotation_names(node: Optional[ast.expr]) -> set[str]:
@@ -600,25 +612,81 @@ class _LegacySpecChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+_MIN_RATIONALE_WORDS = 3
+_RATIONALE_WINDOW_ABOVE = 2
+_RATIONALE_WINDOW_BELOW = 1
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+def _comment_words(text: str) -> int:
+    """Count rationale words in the comment portion of a source line,
+    excluding any suppression directive itself."""
+    hash_pos = text.find("#")
+    if hash_pos < 0:
+        return 0
+    comment = text[hash_pos:]
+    comment = _SUPPRESS_RE.sub("", comment)
+    return len(_WORD_RE.findall(comment))
+
+
+def rationale_diagnostics(source: str, path: str) -> list[Diagnostic]:
+    """GSNP109: every suppression directive must carry a rationale.
+
+    A rationale is a comment with at least :data:`_MIN_RATIONALE_WORDS`
+    words on the directive's own line (after the directive) or within two
+    lines above / one line below it.  Suppressing a rule without saying
+    why leaves the next reader unable to tell a sound exemption from a
+    stale one.
+    """
+    lines = source.splitlines()
+    diags: list[Diagnostic] = []
+    for lineno, text in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        if _comment_words(text) >= _MIN_RATIONALE_WORDS:
+            continue
+        lo = max(1, lineno - _RATIONALE_WINDOW_ABOVE)
+        hi = min(len(lines), lineno + _RATIONALE_WINDOW_BELOW)
+        neighbors = [
+            lines[i - 1] for i in range(lo, hi + 1) if i != lineno
+        ]
+        if any(
+            _comment_words(nb) >= _MIN_RATIONALE_WORDS for nb in neighbors
+        ):
+            continue
+        diags.append(Diagnostic(
+            path=path, line=lineno, col=text.find("#") + 2,
+            rule="GSNP109",
+            message=(
+                f"suppression '{m.group(0).strip()}' has no nearby "
+                "rationale; add a comment (same line or within two lines) "
+                "explaining why the rule does not apply here"
+            ),
+        ))
+    return diags
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    require_rationale: bool = False,
+) -> list[Diagnostic]:
     """Lint one module's source; returns sorted, suppression-filtered
     diagnostics (a syntax error yields a single GSNP100 diagnostic)."""
+    suppressions = _suppressions(source)
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Diagnostic(
+        parse_diag = Diagnostic(
             path=path, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
             rule="GSNP100", message=f"file does not parse: {exc.msg}",
-        )]
-    finder = _KernelFinder()
-    finder.visit(tree)
-    kernels = [
-        d for d in finder.defs
-        if d.name.endswith("_kernel") or d.name in finder.launched
-    ]
-    suppressions = _suppressions(source)
+        )
+        if _is_suppressed(parse_diag, suppressions):
+            return []
+        return [parse_diag]
     diags: set[Diagnostic] = set()
-    for kernel in kernels:
+    for kernel in discover_kernels(tree).kernels:
         for d in _KernelChecker(kernel, path).run():
             if not _is_suppressed(d, suppressions):
                 diags.add(d)
@@ -631,37 +699,42 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         for d in checker.diags:
             if not _is_suppressed(d, suppressions):
                 diags.add(d)
+    if require_rationale:
+        for d in rationale_diagnostics(source, path):
+            if not _is_suppressed(d, suppressions):
+                diags.add(d)
     return sorted(diags)
 
 
-def lint_file(path) -> list[Diagnostic]:
+def lint_file(
+    path: Union[str, Path], require_rationale: bool = False
+) -> list[Diagnostic]:
     """Lint one ``.py`` file."""
     p = Path(path)
-    return lint_source(p.read_text(encoding="utf-8"), str(p))
+    return lint_source(
+        p.read_text(encoding="utf-8"), str(p),
+        require_rationale=require_rationale,
+    )
 
 
 def lint_paths(
-    paths: Sequence,
+    paths: Sequence[Union[str, Path]],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    require_rationale: bool = False,
 ) -> list[Diagnostic]:
     """Lint files and/or directory trees of ``.py`` files.
 
     ``select`` restricts to, and ``ignore`` drops, the given rule ids or
     names (e.g. ``["GSNP104"]`` or ``["dropped-active-mask"]``).
+    ``require_rationale`` additionally fires GSNP109 on suppression
+    directives with no nearby explanatory comment.
     """
     sel = normalize_rules(select)
     ign = normalize_rules(ignore) or set()
-    files: list[Path] = []
-    for p in paths:
-        p = Path(p)
-        if p.is_dir():
-            files.extend(sorted(p.rglob("*.py")))
-        else:
-            files.append(p)
     out: list[Diagnostic] = []
-    for f in files:
-        for d in lint_file(f):
+    for f in iter_python_files(paths):
+        for d in lint_file(f, require_rationale=require_rationale):
             if sel is not None and d.rule not in sel:
                 continue
             if d.rule in ign:

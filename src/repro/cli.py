@@ -465,13 +465,10 @@ def main_chaos(argv=None) -> int:
     return 0 if ok else 1
 
 
-def main_lint(argv=None) -> int:
-    """Statically check kernel code for SIMT-discipline violations."""
-    p = argparse.ArgumentParser(
-        prog="gsnp-lint", description=main_lint.__doc__
-    )
+def _add_analyzer_args(p: argparse.ArgumentParser) -> None:
+    """Arguments shared by gsnp-lint and gsnp-audit."""
     p.add_argument(
-        "paths", nargs="+", help="python files or directories to lint"
+        "paths", nargs="+", help="python files or directories to check"
     )
     p.add_argument(
         "--select", default=None,
@@ -482,11 +479,31 @@ def main_lint(argv=None) -> int:
         help="comma-separated rule ids/names to skip",
     )
     p.add_argument(
+        "--format", default="text", choices=("text", "json", "github"),
+        dest="fmt",
+        help="output format: text (default), json, or github "
+        "(per-line CI annotations)",
+    )
+    p.add_argument(
         "--list-rules", action="store_true", help="print the rule table"
+    )
+
+
+def main_lint(argv=None) -> int:
+    """Statically check kernel code for SIMT-discipline violations."""
+    p = argparse.ArgumentParser(
+        prog="gsnp-lint", description=main_lint.__doc__
+    )
+    _add_analyzer_args(p)
+    p.add_argument(
+        "--require-rationale", action="store_true",
+        help="fire GSNP109 on suppression comments with no nearby "
+        "rationale comment",
     )
     args = p.parse_args(argv)
 
     from .analyze import RULES, lint_paths
+    from .analyze.report import render_diagnostics
 
     if args.list_rules:
         for rid, rname in RULES.items():
@@ -495,14 +512,109 @@ def main_lint(argv=None) -> int:
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
     try:
-        diags = lint_paths(args.paths, select=select, ignore=ignore)
+        diags = lint_paths(
+            args.paths, select=select, ignore=ignore,
+            require_rationale=args.require_rationale,
+        )
     except ValueError as exc:
         p.error(str(exc))
-    for d in diags:
-        print(d.format())
+    out = render_diagnostics(diags, args.fmt, tool="gsnp-lint")
+    if out:
+        print(out)
     if diags:
         print(f"{len(diags)} problem(s) found", file=sys.stderr)
     return 1 if diags else 0
+
+
+def main_audit(argv=None) -> int:
+    """Prove coalescing, race-freedom and barrier discipline statically.
+
+    Extracts a per-kernel IR, classifies every routed memory op on the
+    affine-in-tid lattice (GSNP201 notes), and reports provable races
+    (GSNP202), static uninit reads (GSNP203), missing-barrier hazards
+    (GSNP204) and unprovable indices (GSNP205).  ``--calibrate`` replays
+    tier-1 kernels under the simulator and cross-checks every proven
+    coalescing verdict against the runtime transaction counters.
+    """
+    p = argparse.ArgumentParser(
+        prog="gsnp-audit", description=main_audit.__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    _add_analyzer_args(p)
+    p.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print per-op GSNP201 verdict notes (text format)",
+    )
+    p.add_argument(
+        "--calibrate", action="store_true",
+        help="replay tier-1 kernels and assert runtime transaction "
+        "counters agree with every proven coalescing verdict",
+    )
+    p.add_argument(
+        "--calibrate-sites", type=int, default=1500,
+        help="dataset size for the calibration replay (default 1500)",
+    )
+    args = p.parse_args(argv)
+
+    from .analyze import RULES
+    from .analyze.dataflow import audit_paths
+    from .analyze.report import render_diagnostics
+
+    if args.list_rules:
+        for rid, rname in RULES.items():
+            if rid.startswith("GSNP2") or rid == "GSNP100":
+                print(f"{rid}  {rname}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    try:
+        mods = audit_paths(args.paths, select=select, ignore=ignore)
+    except ValueError as exc:
+        p.error(str(exc))
+
+    diags = [d for m in mods for d in m.diagnostics]
+    errors = [d for d in diags if d.severity == "error"]
+    verdicts = [v for m in mods for v in m.verdicts]
+    counts: dict[str, int] = {}
+    for v in verdicts:
+        counts[v.verdict] = counts.get(v.verdict, 0) + 1
+    kernels = sum(len(m.kernels) for m in mods)
+
+    calibration = None
+    if args.calibrate:
+        from .analyze.calibrate import run_calibration
+
+        calibration = run_calibration(
+            args.paths, n_sites=args.calibrate_sites
+        )
+
+    shown = diags if (args.verbose or args.fmt != "text") else errors
+    extra: dict[str, object] = {
+        "kernels": kernels,
+        "verdicts": counts,
+        "ops": [v.to_dict() for v in verdicts],
+    }
+    if calibration is not None:
+        extra["calibration"] = calibration.to_dict()
+    out = render_diagnostics(shown, args.fmt, tool="gsnp-audit", extra=extra)
+    if out:
+        print(out)
+    if args.fmt == "text":
+        summary = ", ".join(
+            f"{counts.get(k, 0)} {k}"
+            for k in ("coalesced", "strided", "gather", "unproven")
+        )
+        print(
+            f"audited {kernels} kernel(s), {len(verdicts)} memory op(s): "
+            f"{summary}",
+            file=sys.stderr,
+        )
+        if calibration is not None:
+            print(calibration.summary(), file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} problem(s) found", file=sys.stderr)
+    ok = not errors and (calibration is None or calibration.ok)
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

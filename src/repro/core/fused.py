@@ -155,7 +155,7 @@ def _fused_comp_kernel(
                 p1 = ctx.gload(tables.pm_dev, i1, active=active)
                 p2 = ctx.gload(tables.pm_dev, i2, active=active)
                 with np.errstate(divide="ignore"):
-                    val = np.log10(0.5 * p1 + 0.5 * p2)  # gsnp-lint: disable=GSNP102
+                    val = np.log10(0.5 * p1 + 0.5 * p2)  # gsnp-lint: disable=GSNP102 (het strands average in probability space; log_table only covers single-p lookups)
                 ctx.instr(_INSTR_LOG10, active=active)
             contribution = np.where(active, val, 0.0)
             ctx.note_shared(loads=1, stores=1, active=active)

@@ -367,7 +367,7 @@ class GsnpPipeline:
                 with _PhaseScope(rec, device):
                     obs = extract_observations(window)
                     if self.mode == "gpu":
-                        words, offsets = gsnp_counting(device, obs)  # gsnp-lint: disable=GSNP107
+                        words, offsets = gsnp_counting(device, obs)  # gsnp-lint: disable=GSNP107 (per-window parity baseline for fusion)
                     else:
                         words, offsets = words_from_observations(obs)
                 rec.cpu.instructions += obs.n_obs * 4
@@ -378,11 +378,11 @@ class GsnpPipeline:
                 rec = profile.phase("likelihood")
                 with _PhaseScope(rec, device):
                     if self.mode == "gpu":
-                        wsorted, stats = gsnp_likelihood_sort(  # gsnp-lint: disable=GSNP107
+                        wsorted, stats = gsnp_likelihood_sort(  # gsnp-lint: disable=GSNP107 (per-window parity baseline for fusion)
                             device, words, offsets
                         )
                         sort_stats.append(stats)
-                        type_likely = gsnp_likelihood_comp(  # gsnp-lint: disable=GSNP107
+                        type_likely = gsnp_likelihood_comp(  # gsnp-lint: disable=GSNP107 (per-window parity baseline for fusion)
                             device, wsorted, offsets, tables, self.variant
                         )
                     else:
@@ -416,7 +416,7 @@ class GsnpPipeline:
                         window.start : window.end
                     ]
                     if self.mode == "gpu":
-                        table = gsnp_posterior(  # gsnp-lint: disable=GSNP107
+                        table = gsnp_posterior(  # gsnp-lint: disable=GSNP107 (per-window parity baseline for fusion)
                             device, obs, window.start, ref_codes,
                             dataset.prior, type_likely, params,
                             chrom=dataset.reference.name,
@@ -433,7 +433,7 @@ class GsnpPipeline:
                 # ---- output: customized columnar compression ----------------
                 rec = profile.phase("output")
                 with _PhaseScope(rec, device):
-                    blob = encode_table(  # gsnp-lint: disable=GSNP107
+                    blob = encode_table(  # gsnp-lint: disable=GSNP107 (per-window parity baseline for fusion)
                         table, device=device if self.mode == "gpu" else None
                     )
                     if out_f is not None:
@@ -457,7 +457,7 @@ class GsnpPipeline:
                 rec = profile.phase("recycle")
                 with _PhaseScope(rec, device):
                     if self.mode == "gpu":
-                        gsnp_recycle(device, words.size, window.n_sites)  # gsnp-lint: disable=GSNP107
+                        gsnp_recycle(device, words.size, window.n_sites)  # gsnp-lint: disable=GSNP107 (per-window parity baseline for fusion)
                 if self.mode == "cpu":
                     rec.cpu.seq_write_bytes += words.size * 4 + window.n_sites * 88
         except BaseException as exc:

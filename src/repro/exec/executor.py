@@ -132,7 +132,7 @@ class ExecConfig:
         executor configuration (``gsnp-lint`` GSNP108 flags ad-hoc
         re-spellings elsewhere).
         """
-        return cls(  # gsnp-lint: disable=GSNP108
+        return cls(  # gsnp-lint: disable=GSNP108 (the sanctioned JobSpec translation site)
             workers=spec.workers,
             shard_size=spec.shard_size,
             prefetch=spec.prefetch,

@@ -18,7 +18,9 @@ transactions, but the warp still issues the instruction.
 
 from __future__ import annotations
 
-from typing import Optional
+import sys
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -26,6 +28,47 @@ from ..errors import KernelError
 from .counters import KernelCounters
 from . import memory as _gmem
 from .memory import DeviceArray, count_transactions
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One routed memory op as observed at runtime.
+
+    ``gsnp-audit --calibrate`` installs an observer to collect these and
+    cross-checks them against the static coalescing verdicts: the
+    ``(file, line)`` pair keys the record back to the audited source op.
+    """
+
+    kind: str            # gload|gstore|gatomic_add|cload
+    file: str            # source file of the kernel call site
+    line: int            # line of the call site
+    kernel: str          # launch name (KernelCounters.name)
+    array: str           # device array name
+    tx: int              # memory transactions issued (0 for cload)
+    n_live: int          # live lanes
+    warps: int           # warps with at least one live lane
+    n_threads: int
+    warp_size: int
+    itemsize: int
+    segment_bytes: int
+
+
+#: Module-level op observer; ``None`` keeps the hot path branch-free
+#: beyond a single global check.
+_OP_OBSERVER: Optional[Callable[[OpRecord], None]] = None
+
+
+def set_op_observer(
+    fn: Optional[Callable[[OpRecord], None]],
+) -> Optional[Callable[[OpRecord], None]]:
+    """Install (or clear, with ``None``) the per-op observer.
+
+    Returns the previous observer so callers can restore it.
+    """
+    global _OP_OBSERVER
+    prev = _OP_OBSERVER
+    _OP_OBSERVER = fn
+    return prev
 
 
 class KernelContext:
@@ -185,6 +228,31 @@ class KernelContext:
         self.counters.s_load_warp += int(loads) * w
         self.counters.s_store_warp += int(stores) * w
 
+    def _observe(
+        self, kind: str, arr: DeviceArray, tx: int, n_live: int, warps: int
+    ) -> None:
+        """Report one routed op to the calibration observer.
+
+        Only called when an observer is installed; the call-site frame two
+        levels up is the kernel body line that issued the op.
+        """
+        assert _OP_OBSERVER is not None
+        frame = sys._getframe(2)
+        _OP_OBSERVER(OpRecord(
+            kind=kind,
+            file=frame.f_code.co_filename,
+            line=frame.f_lineno,
+            kernel=self.counters.name,
+            array=arr.name,
+            tx=int(tx),
+            n_live=int(n_live),
+            warps=int(warps),
+            n_threads=self.n_threads,
+            warp_size=self.warp_size,
+            itemsize=int(arr.itemsize),
+            segment_bytes=int(self.device.spec.segment_bytes),
+        ))
+
     # -- global memory --------------------------------------------------------
 
     def gload(
@@ -208,6 +276,8 @@ class KernelContext:
         self.counters.bump_global(
             load_tx=tx, load_bytes=n_live * arr.itemsize, inst=warps
         )
+        if _OP_OBSERVER is not None:
+            self._observe("gload", arr, tx, n_live, warps)
         flat = arr.flat_view()
         if live is None:
             self._bounds_check(arr, midx)
@@ -243,6 +313,8 @@ class KernelContext:
         self.counters.bump_global(
             store_tx=tx, store_bytes=n_live * arr.itemsize, inst=warps
         )
+        if _OP_OBSERVER is not None:
+            self._observe("gstore", arr, tx, n_live, warps)
         vals = np.broadcast_to(
             np.asarray(values, dtype=arr.dtype), (self.n_threads,)
         )
@@ -277,6 +349,8 @@ class KernelContext:
             load_tx=tx, store_tx=tx, load_bytes=nbytes, store_bytes=nbytes,
             inst=warps,
         )
+        if _OP_OBSERVER is not None:
+            self._observe("gatomic_add", arr, tx, n_live, warps)
         vals = np.broadcast_to(
             np.asarray(values, dtype=arr.dtype), (self.n_threads,)
         )
@@ -309,6 +383,8 @@ class KernelContext:
         midx, live, n_live, warps = self._op_info(idx, active)
         self.counters.c_load += n_live
         self.counters.inst_warp += warps
+        if _OP_OBSERVER is not None:
+            self._observe("cload", arr, 0, n_live, warps)
         if live is None:
             self._bounds_check(arr, midx)
             arr._kernel_reads += 1

@@ -1,0 +1,507 @@
+"""gsnp-audit: static dataflow proofs over the kernel IR.
+
+Covers the IR extraction layer (ops, masks, barrier regions, ctx-method
+aliases), the affine-in-tid abstract interpretation (coalesced / strided
+/ gather / unproven verdicts), the whole-kernel checks (GSNP202 static
+races, GSNP203 uninit reads, GSNP204 missing barriers, GSNP205 honesty),
+the runtime calibration cross-check, and the acceptance gates: the
+repo's own kernels audit with zero errors and zero unproven ops, and
+every proven coalescing verdict agrees with the simulator's transaction
+counters.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analyze.calibrate import run_calibration, transaction_bound
+from repro.analyze.dataflow import (
+    AFFINE,
+    DATADEP,
+    VERDICT_COALESCED,
+    VERDICT_GATHER,
+    VERDICT_STRIDED,
+    VERDICT_UNPROVEN,
+    affine,
+    audit_source,
+    classify,
+    datadep,
+    join,
+    tidperm,
+    uniform,
+    unknown,
+)
+from repro.analyze.ir import extract_module_ir
+
+
+def _audit(src):
+    return audit_source(textwrap.dedent(src), "test.py")
+
+
+def _verdicts(src):
+    return {(v.line, v.kind): v for v in _audit(src).verdicts}
+
+
+def _errors(src):
+    return [d for d in _audit(src).diagnostics if d.severity == "error"]
+
+
+def _ir(src):
+    return extract_module_ir(ast.parse(textwrap.dedent(src)), "test.py")
+
+
+class TestIRExtraction:
+    def test_ops_masks_and_regions(self):
+        kirs = _ir(
+            """
+            def k_kernel(ctx, src, dst, n):
+                active = ctx.tid < n
+                v = ctx.gload(src, ctx.tid, active=active)
+                ctx.syncthreads()
+                ctx.gstore(dst, ctx.tid, v, active=None)
+            """
+        )
+        assert len(kirs) == 1
+        kir = kirs[0]
+        assert kir.name == "k_kernel"
+        assert kir.params == ["src", "dst", "n"]
+        assert kir.n_barriers == 1
+        mem = kir.mem_ops()
+        assert [op.kind for op in mem] == ["gload", "gstore"]
+        load, store = mem
+        assert not load.mask.is_full and load.mask.text == "active"
+        assert store.mask.is_full
+        # The barrier separates the two ops into distinct regions.
+        assert load.region == 0 and store.region == 1
+
+    def test_ctx_method_alias(self):
+        kirs = _ir(
+            """
+            def k_kernel(ctx, buf, fast):
+                probe = ctx.cload if fast else ctx.gload
+                v = probe(buf, ctx.tid, None)
+            """
+        )
+        ops = kirs[0].mem_ops()
+        assert len(ops) == 1
+        assert ops[0].alias_of == "probe"
+
+    def test_loop_and_branch_tracking(self):
+        kirs = _ir(
+            """
+            def k_kernel(ctx, buf, n):
+                for step in range(n):
+                    ctx.gstore(buf, ctx.tid, step, active=None)
+                    ctx.syncthreads()
+            """
+        )
+        op = kirs[0].mem_ops()[0]
+        assert op.loop_id is not None
+        assert op.loop_has_barrier
+
+    def test_index_text_is_source(self):
+        kirs = _ir(
+            """
+            def k_kernel(ctx, buf):
+                v = ctx.gload(buf, ctx.tid * 4 + 1, active=None)
+            """
+        )
+        assert kirs[0].mem_ops()[0].index_text == "ctx.tid * 4 + 1"
+
+
+class TestLattice:
+    def test_classify_table(self):
+        assert classify(affine(1, 0)) == (VERDICT_COALESCED, 1)
+        assert classify(affine(-1, 7)) == (VERDICT_COALESCED, 1)
+        assert classify(uniform(3)) == (VERDICT_COALESCED, 0)
+        assert classify(affine(4, 0)) == (VERDICT_STRIDED, 4)
+        assert classify(affine(None, None)) == (VERDICT_STRIDED, None)
+        assert classify(tidperm("x"))[0] == VERDICT_GATHER
+        assert classify(datadep("x"))[0] == VERDICT_GATHER
+        assert classify(unknown("x"))[0] == VERDICT_UNPROVEN
+
+    def test_join_merges_control_flow(self):
+        a, b = affine(1, 0), affine(1, 4)
+        j = join(a, b)
+        assert j.kind == AFFINE and j.stride == 1 and j.offset is None
+        assert join(affine(1, 0), affine(2, 0)).stride is None
+        assert join(uniform(1), datadep("d")).kind == DATADEP
+
+    def test_coalesced_and_strided_verdicts(self):
+        v = _verdicts(
+            """
+            def k_kernel(ctx, src, dst):
+                a = ctx.gload(src, ctx.tid, active=None)
+                b = ctx.gload(src, ctx.tid * 4, active=None)
+                ctx.gstore(dst, ctx.tid + 8, a + b, active=None)
+            """
+        )
+        assert v[(3, "gload")].verdict == VERDICT_COALESCED
+        assert v[(4, "gload")].verdict == VERDICT_STRIDED
+        assert v[(4, "gload")].stride == 4
+        assert v[(5, "gstore")].verdict == VERDICT_COALESCED
+
+    def test_data_dependent_gather(self):
+        v = _verdicts(
+            """
+            def k_kernel(ctx, idx, src, dst):
+                j = ctx.gload(idx, ctx.tid, active=None)
+                val = ctx.gload(src, j, active=None)
+                ctx.gstore(dst, ctx.tid, val, active=None)
+            """
+        )
+        assert v[(4, "gload")].verdict == VERDICT_GATHER
+        assert "idx" in v[(4, "gload")].detail
+
+    def test_clamped_neighbor_load(self):
+        v = _verdicts(
+            """
+            import numpy as np
+
+            def k_kernel(ctx, src, dst, n: int):
+                j = np.minimum(ctx.tid + 1, n - 1)
+                v = ctx.gload(src, j, active=None)
+                ctx.gstore(dst, ctx.tid, v, active=None)
+            """
+        )
+        assert v[(6, "gload")].verdict == VERDICT_COALESCED
+        assert v[(6, "gload")].clamped
+
+    def test_loop_carried_rebinding_degrades(self):
+        # After one iteration `lo` is np.where-selected (data-dependent);
+        # the two-pass fixpoint must classify `mid` as a gather, not take
+        # the first-iteration affine value.
+        v = _verdicts(
+            """
+            import numpy as np
+
+            def k_kernel(ctx, table, out, steps):
+                lo = ctx.tid * 0
+                for _ in range(steps):
+                    mid = lo + 1
+                    probe = ctx.gload(table, mid, active=None)
+                    lo = np.where(probe > 0, mid, lo)
+            """
+        )
+        assert v[(8, "gload")].verdict == VERDICT_GATHER
+
+    def test_unproven_is_said_out_loud(self):
+        audit = _audit(
+            """
+            def k_kernel(ctx, buf):
+                idx = mystery()
+                v = ctx.gload(buf, idx, active=None)
+            """
+        )
+        assert audit.verdicts[0].verdict == VERDICT_UNPROVEN
+        assert [d.rule for d in audit.diagnostics
+                if d.severity == "error"] == ["GSNP205"]
+
+
+class TestStaticRaces:
+    def test_raw_race_fires(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf):
+                v = ctx.gload(buf, ctx.tid + 1, active=None)
+                ctx.gstore(buf, ctx.tid, v, active=None)
+            """
+        )
+        assert [d.rule for d in errs] == ["GSNP202"]
+
+    def test_barrier_between_is_clean(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf):
+                v = ctx.gload(buf, ctx.tid + 1, active=None)
+                ctx.syncthreads()
+                ctx.gstore(buf, ctx.tid, v, active=None)
+            """
+        )
+        assert errs == []
+
+    def test_broadcast_store_self_race(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf):
+                ctx.gstore(buf, 0, ctx.tid, active=None)
+            """
+        )
+        assert [d.rule for d in errs] == ["GSNP202"]
+
+    def test_atomic_broadcast_is_clean(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf):
+                ctx.gatomic_add(buf, 0, 1, active=None)
+            """
+        )
+        assert errs == []
+
+    def test_disjoint_lanes_are_clean(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf):
+                v = ctx.gload(buf, ctx.tid, active=None)
+                ctx.gstore(buf, ctx.tid, v + 1, active=None)
+            """
+        )
+        assert errs == []
+
+    def test_cross_iteration_race_in_barrier_free_loop(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf, steps):
+                for _ in range(steps):
+                    v = ctx.gload(buf, ctx.tid + 1, active=None)
+                    ctx.gstore(buf, ctx.tid, v, active=None)
+            """
+        )
+        assert "GSNP202" in {d.rule for d in errs}
+
+    def test_loop_with_barrier_between_is_clean(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf, steps):
+                for _ in range(steps):
+                    v = ctx.gload(buf, ctx.tid + 1, active=None)
+                    ctx.syncthreads()
+                    ctx.gstore(buf, ctx.tid, v, active=None)
+                    ctx.syncthreads()
+            """
+        )
+        assert errs == []
+
+
+class TestMissingBarrier:
+    def test_masked_store_then_full_load_fires(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf, n):
+                active = ctx.tid < n
+                ctx.gstore(buf, ctx.tid, ctx.tid, active=active)
+                v = ctx.gload(buf, ctx.tid + 1, active=None)
+            """
+        )
+        assert [d.rule for d in errs] == ["GSNP204"]
+
+    def test_same_lane_readback_is_clean(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf, n):
+                active = ctx.tid < n
+                ctx.gstore(buf, ctx.tid, ctx.tid, active=active)
+                v = ctx.gload(buf, ctx.tid, active=None)
+            """
+        )
+        assert errs == []
+
+    def test_barrier_resolves_hazard(self):
+        errs = _errors(
+            """
+            def k_kernel(ctx, buf, n):
+                active = ctx.tid < n
+                ctx.gstore(buf, ctx.tid, ctx.tid, active=active)
+                ctx.syncthreads()
+                v = ctx.gload(buf, ctx.tid + 1, active=None)
+            """
+        )
+        assert errs == []
+
+
+class TestUninitReads:
+    def test_load_from_uninit_alloc_fires(self):
+        errs = _errors(
+            """
+            scratch = device.alloc(64, init=False)
+
+            def k_kernel(ctx, buf):
+                v = ctx.gload(buf, ctx.tid, active=None)
+
+            device.launch(k_kernel, 64, scratch)
+            """
+        )
+        assert [d.rule for d in errs] == ["GSNP203"]
+
+    def test_store_before_load_is_clean(self):
+        errs = _errors(
+            """
+            scratch = device.alloc(64, init=False)
+
+            def k_kernel(ctx, buf):
+                ctx.gstore(buf, ctx.tid, 0, active=None)
+                v = ctx.gload(buf, ctx.tid, active=None)
+
+            device.launch(k_kernel, 64, scratch)
+            """
+        )
+        assert errs == []
+
+    def test_initialized_alloc_is_clean(self):
+        errs = _errors(
+            """
+            scratch = device.alloc(64)
+
+            def k_kernel(ctx, buf):
+                v = ctx.gload(buf, ctx.tid, active=None)
+
+            device.launch(k_kernel, 64, scratch)
+            """
+        )
+        assert errs == []
+
+    def test_keyword_launch_binding(self):
+        errs = _errors(
+            """
+            scratch = device.alloc(64, init=False)
+
+            def k_kernel(ctx, buf):
+                v = ctx.gload(buf, ctx.tid, active=None)
+
+            device.launch(k_kernel, 64, buf=scratch)
+            """
+        )
+        assert [d.rule for d in errs] == ["GSNP203"]
+
+
+class TestSuppression:
+    def test_audit_rules_are_suppressible(self):
+        audit = _audit(
+            """
+            def k_kernel(ctx, buf):
+                idx = mystery()
+                v = ctx.gload(buf, idx, active=None)  # gsnp-lint: disable=GSNP205
+            """
+        )
+        assert all(d.rule != "GSNP205" for d in audit.diagnostics)
+
+    def test_note_verdicts_are_suppressible(self):
+        audit = _audit(
+            """
+            def k_kernel(ctx, buf):
+                v = ctx.gload(buf, ctx.tid, active=None)  # gsnp-lint: disable=GSNP201
+            """
+        )
+        assert audit.diagnostics == []
+        # The verdict itself survives; only the note is filtered.
+        assert len(audit.verdicts) == 1
+
+
+class TestCalibration:
+    def test_transaction_bound_table(self):
+        # Broadcast: one segment per warp regardless of geometry.
+        assert transaction_bound(0, 32, 4, 128) == 1
+        # Unit stride, 4-byte elems: 124 bytes span -> 1 segment + slack.
+        assert transaction_bound(1, 32, 4, 128) == 2
+        # Stride 2 doubles the span.
+        assert transaction_bound(2, 32, 4, 128) == 3
+
+    def test_probe_replay_agrees(self):
+        report = run_calibration(
+            ["src/repro"], workloads=False, probes=True
+        )
+        assert report.ok
+        assert report.checked > 0
+        assert report.agreements == report.checked
+        assert report.mismatches == []
+
+    def test_full_calibration_covers_every_coalesced_op(self):
+        """Acceptance gate: 100% agreement AND 100% coverage — every op
+        the audit proved coalesced is exercised by the tier-1 replay and
+        stays within its transaction bound."""
+        report = run_calibration(["src/repro"], n_sites=300)
+        assert report.ok
+        assert report.observed_ops == report.coalesced_ops
+        assert report.unobserved == []
+
+
+class TestInTreeGates:
+    """The audit's headline acceptance criteria on the repo's own kernels."""
+
+    @pytest.fixture(scope="class")
+    def audits(self):
+        from repro.analyze import audit_paths
+
+        return audit_paths(["src/repro"])
+
+    def test_zero_errors(self, audits):
+        errs = [
+            d for m in audits for d in m.diagnostics
+            if d.severity == "error"
+        ]
+        assert errs == []
+
+    def test_zero_unproven(self, audits):
+        unproven = [
+            v for m in audits for v in m.verdicts
+            if v.verdict == VERDICT_UNPROVEN
+        ]
+        assert unproven == []
+
+    def test_every_mem_op_classified(self, audits):
+        counts = {}
+        for m in audits:
+            for v in m.verdicts:
+                counts[v.verdict] = counts.get(v.verdict, 0) + 1
+        total = sum(counts.values())
+        ops = sum(
+            len(k.ir.mem_ops()) for m in audits for k in m.kernels
+        )
+        assert total == ops > 0
+        assert counts.get(VERDICT_COALESCED, 0) > 0
+        assert counts.get(VERDICT_STRIDED, 0) > 0
+
+
+class TestCLI:
+    def test_exit_zero_on_clean_tree(self, capsys):
+        from repro.cli import main_audit
+
+        assert main_audit(["src/repro/gpusim/primitives/reduce.py"]) == 0
+        err = capsys.readouterr().err
+        assert "audited" in err and "unproven" in err
+
+    def test_exit_one_on_error(self, tmp_path, capsys):
+        from repro.cli import main_audit
+
+        (tmp_path / "bad.py").write_text(textwrap.dedent(
+            """
+            def k_kernel(ctx, buf):
+                idx = mystery()
+                v = ctx.gload(buf, idx, active=None)
+            """
+        ))
+        assert main_audit([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "GSNP205" in out
+
+    def test_json_format_carries_verdicts(self, capsys):
+        import json
+
+        from repro.cli import main_audit
+
+        assert main_audit([
+            "src/repro/gpusim/primitives/reduce.py", "--format", "json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "gsnp-audit"
+        assert doc["kernels"] == 2
+        assert doc["verdicts"]["coalesced"] > 0
+        assert all("verdict" in op for op in doc["ops"])
+
+    def test_verbose_prints_notes(self, capsys):
+        from repro.cli import main_audit
+
+        assert main_audit([
+            "src/repro/gpusim/primitives/reduce.py", "--verbose",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "GSNP201" in out and "note:" in out
+
+    def test_list_rules(self, capsys):
+        from repro.cli import main_audit
+
+        assert main_audit(["x", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("GSNP201", "GSNP202", "GSNP203", "GSNP204", "GSNP205"):
+            assert rid in out

@@ -469,14 +469,362 @@ class TestGsnp107FusableInWindowLoop:
         assert diags == []
 
 
+class TestGsnp109Rationale:
+    """Suppressions must say why (opt-in via require_rationale)."""
+
+    def _lint(self, src):
+        return lint_source(
+            textwrap.dedent(src), "test.py", require_rationale=True
+        )
+
+    def test_bare_suppression_fires(self):
+        diags = self._lint(
+            """
+            def k_kernel(ctx, arr):
+                v = arr.data  # gsnp-lint: disable=GSNP101
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP109"]
+        assert diags[0].line == 3
+
+    def test_same_line_rationale_is_fine(self):
+        diags = self._lint(
+            """
+            def k_kernel(ctx, arr):
+                v = arr.data  # gsnp-lint: disable=GSNP101 (host-side debug dump)
+            """
+        )
+        assert diags == []
+
+    def test_nearby_comment_rationale_is_fine(self):
+        diags = self._lint(
+            """
+            def k_kernel(ctx, arr):
+                # Reads the staging copy before upload, not device memory.
+                v = arr.data  # gsnp-lint: disable=GSNP101
+            """
+        )
+        assert diags == []
+
+    def test_short_rationale_still_fires(self):
+        diags = self._lint(
+            """
+            def k_kernel(ctx, arr):
+                # ok
+                v = arr.data  # gsnp-lint: disable=GSNP101
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP109"]
+
+    def test_off_by_default(self):
+        diags = _lint(
+            """
+            def k_kernel(ctx, arr):
+                v = arr.data  # gsnp-lint: disable=GSNP101
+            """
+        )
+        assert diags == []
+
+    def test_repo_suppressions_carry_rationale(self):
+        """CI gate: in-tree suppressions all explain themselves."""
+        assert lint_paths(["src/repro"], require_rationale=True) == []
+
+
+# One (fire, suppress) source pair per rule id.  The fire source produces
+# at least one diagnostic with the rule; the suppress source is the same
+# violation with a `# gsnp-lint: disable=` directive on the flagged line.
+_RULE_CASES = {
+    "GSNP100": (
+        "def broken(:\n",
+        "def broken(:  # gsnp-lint: disable=GSNP100\n",
+    ),
+    "GSNP101": (
+        """
+        def k_kernel(ctx, arr):
+            v = arr.data
+        """,
+        """
+        def k_kernel(ctx, arr):
+            v = arr.data  # gsnp-lint: disable=GSNP101
+        """,
+    ),
+    "GSNP102": (
+        """
+        import numpy as np
+        def k_kernel(ctx, v):
+            return np.log(v)
+        """,
+        """
+        import numpy as np
+        def k_kernel(ctx, v):
+            return np.log(v)  # gsnp-lint: disable=GSNP102
+        """,
+    ),
+    "GSNP103": (
+        """
+        def k_kernel(ctx, arr):
+            for t in ctx.tid:
+                pass
+        """,
+        """
+        def k_kernel(ctx, arr):
+            for t in ctx.tid:  # gsnp-lint: disable=GSNP103
+                pass
+        """,
+    ),
+    "GSNP104": (
+        """
+        def k_kernel(ctx, out, n):
+            active = ctx.tid < n
+            ctx.gstore(out, ctx.tid, 1)
+        """,
+        """
+        def k_kernel(ctx, out, n):
+            active = ctx.tid < n
+            ctx.gstore(out, ctx.tid, 1)  # gsnp-lint: disable=GSNP104
+        """,
+    ),
+    "GSNP105": (
+        """
+        def k_kernel(ctx, out):
+            v = ctx.gload(out, ctx.tid, active=None)
+            out[ctx.tid] = v
+        """,
+        """
+        def k_kernel(ctx, out):
+            v = ctx.gload(out, ctx.tid, active=None)
+            out[ctx.tid] = v  # gsnp-lint: disable=GSNP105
+        """,
+    ),
+    "GSNP106": (
+        """
+        from repro.faults.plan import fault_point
+        fault_point("not.a.site", key=1)
+        """,
+        """
+        from repro.faults.plan import fault_point
+        fault_point("not.a.site", key=1)  # gsnp-lint: disable=GSNP106
+        """,
+    ),
+    "GSNP107": (
+        """
+        def run(device, windows):
+            for window in windows:
+                gsnp_counting(device, window)
+        """,
+        """
+        def run(device, windows):
+            for window in windows:
+                gsnp_counting(device, window)  # gsnp-lint: disable=GSNP107
+        """,
+    ),
+    "GSNP108": (
+        """
+        p = create_pipeline(window_size=512, fusion=True)
+        """,
+        """
+        p = create_pipeline(window_size=512, fusion=True)  # gsnp-lint: disable=GSNP108
+        """,
+    ),
+    "GSNP109": (
+        """
+        def k_kernel(ctx, arr):
+            v = arr.data  # gsnp-lint: disable=GSNP101
+        """,
+        """
+        def k_kernel(ctx, arr):
+            v = arr.data  # gsnp-lint: disable=GSNP101,GSNP109
+        """,
+    ),
+    "GSNP201": (
+        """
+        def k_kernel(ctx, buf):
+            v = ctx.gload(buf, ctx.tid, active=None)
+        """,
+        """
+        def k_kernel(ctx, buf):
+            v = ctx.gload(buf, ctx.tid, active=None)  # gsnp-lint: disable=GSNP201
+        """,
+    ),
+    "GSNP202": (
+        """
+        def k_kernel(ctx, buf):
+            v = ctx.gload(buf, ctx.tid + 1, active=None)
+            ctx.gstore(buf, ctx.tid, v, active=None)
+        """,
+        """
+        def k_kernel(ctx, buf):
+            v = ctx.gload(buf, ctx.tid + 1, active=None)
+            ctx.gstore(buf, ctx.tid, v, active=None)  # gsnp-lint: disable=GSNP202
+        """,
+    ),
+    "GSNP203": (
+        """
+        scratch = device.alloc(64, init=False)
+
+        def k_kernel(ctx, buf):
+            v = ctx.gload(buf, ctx.tid, active=None)
+
+        device.launch(k_kernel, 64, scratch)
+        """,
+        """
+        scratch = device.alloc(64, init=False)
+
+        def k_kernel(ctx, buf):
+            v = ctx.gload(buf, ctx.tid, active=None)  # gsnp-lint: disable=GSNP203
+
+        device.launch(k_kernel, 64, scratch)
+        """,
+    ),
+    "GSNP204": (
+        """
+        def k_kernel(ctx, buf, n):
+            active = ctx.tid < n
+            ctx.gstore(buf, ctx.tid, ctx.tid, active=active)
+            v = ctx.gload(buf, ctx.tid + 1, active=None)
+        """,
+        """
+        def k_kernel(ctx, buf, n):
+            active = ctx.tid < n
+            ctx.gstore(buf, ctx.tid, ctx.tid, active=active)
+            v = ctx.gload(buf, ctx.tid + 1, active=None)  # gsnp-lint: disable=GSNP204
+        """,
+    ),
+    "GSNP205": (
+        """
+        def k_kernel(ctx, buf):
+            idx = mystery()
+            v = ctx.gload(buf, idx, active=None)
+        """,
+        """
+        def k_kernel(ctx, buf):
+            idx = mystery()
+            v = ctx.gload(buf, idx, active=None)  # gsnp-lint: disable=GSNP205
+        """,
+    ),
+}
+
+
+def _rules_fired(rule, src):
+    """Run the tool that owns ``rule`` and return the fired rule ids."""
+    from repro.analyze.dataflow import audit_source
+    from repro.analyze.lint import AUDIT_RULES
+
+    src = textwrap.dedent(src)
+    if rule in AUDIT_RULES:
+        return {d.rule for d in audit_source(src, "test.py").diagnostics}
+    return {
+        d.rule
+        for d in lint_source(src, "test.py", require_rationale=True)
+    }
+
+
+class TestEveryRuleFiresAndSuppresses:
+    """Each registered rule has a witnessed fire case and a working
+    suppression — the registry can't grow decorative entries."""
+
+    @pytest.mark.parametrize("rule", sorted(RULES))
+    def test_rule_fires(self, rule):
+        fire_src, _ = _RULE_CASES[rule]
+        assert rule in _rules_fired(rule, fire_src)
+
+    @pytest.mark.parametrize("rule", sorted(RULES))
+    def test_rule_suppresses(self, rule):
+        _, suppress_src = _RULE_CASES[rule]
+        assert rule not in _rules_fired(rule, suppress_src)
+
+    def test_every_rule_has_a_case(self):
+        assert set(_RULE_CASES) == set(RULES)
+
+
 class TestDiagnostic:
     def test_format_is_file_line_col(self):
         d = Diagnostic(path="x.py", line=3, col=5,
                        rule="GSNP101", message="m")
         assert d.format() == "x.py:3:5: GSNP101 [kernel-data-access] m"
 
+    def test_note_severity_format(self):
+        d = Diagnostic(path="x.py", line=3, col=5, rule="GSNP201",
+                       message="m", severity="note")
+        assert d.format() == (
+            "x.py:3:5: note: GSNP201 [access-pattern-verdict] m"
+        )
+
+    def test_to_dict_roundtrips_fields(self):
+        d = Diagnostic(path="x.py", line=3, col=5,
+                       rule="GSNP101", message="m")
+        assert d.to_dict() == {
+            "path": "x.py", "line": 3, "col": 5, "rule": "GSNP101",
+            "name": "kernel-data-access", "severity": "error",
+            "message": "m",
+        }
+
     def test_rule_table_complete(self):
         assert set(RULES) == {
             "GSNP100", "GSNP101", "GSNP102", "GSNP103", "GSNP104",
-            "GSNP105", "GSNP106", "GSNP107", "GSNP108",
+            "GSNP105", "GSNP106", "GSNP107", "GSNP108", "GSNP109",
+            "GSNP201", "GSNP202", "GSNP203", "GSNP204", "GSNP205",
         }
+
+
+class TestOutputFormats:
+    @pytest.fixture
+    def diags(self):
+        return [
+            Diagnostic(path="a.py", line=2, col=3, rule="GSNP101",
+                       message="bad access"),
+            Diagnostic(path="a.py", line=5, col=1, rule="GSNP201",
+                       message="is coalesced", severity="note"),
+        ]
+
+    def test_json_document(self, diags):
+        import json
+
+        from repro.analyze import render_diagnostics
+
+        doc = json.loads(
+            render_diagnostics(diags, "json", tool="gsnp-lint",
+                               extra={"kernels": 2})
+        )
+        assert doc["tool"] == "gsnp-lint"
+        assert doc["kernels"] == 2
+        assert doc["count"] == 1  # notes don't count as problems
+        assert [d["rule"] for d in doc["diagnostics"]] == [
+            "GSNP101", "GSNP201"
+        ]
+
+    def test_github_annotations(self, diags):
+        from repro.analyze import render_diagnostics
+
+        lines = render_diagnostics(diags, "github").splitlines()
+        assert lines[0].startswith(
+            "::error file=a.py,line=2,col=3,title=GSNP101"
+        )
+        assert lines[1].startswith("::notice file=a.py,line=5")
+
+    def test_github_escapes_newlines(self):
+        from repro.analyze import render_diagnostics
+
+        d = Diagnostic(path="a.py", line=1, col=1, rule="GSNP101",
+                       message="two\nlines % done")
+        out = render_diagnostics([d], "github")
+        assert "\n" not in out
+        assert "two%0Alines %25 done" in out
+
+    def test_unknown_format_raises(self, diags):
+        from repro.analyze import render_diagnostics
+
+        with pytest.raises(ValueError, match="sarif"):
+            render_diagnostics(diags, "sarif")
+
+    def test_cli_format_flags(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "a.py").write_text(
+            "def a_kernel(ctx, arr):\n    return arr.data\n"
+        )
+        assert main_lint([str(tmp_path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        assert main_lint([str(tmp_path), "--format", "github"]) == 1
+        assert capsys.readouterr().out.startswith("::error ")
