@@ -46,6 +46,12 @@ GSNP109   suppression-without-rationale  a ``# gsnp-lint: disable=`` comment
                                 with no explanatory comment on the same line
                                 or within two lines (opt-in via
                                 ``--require-rationale``; enforced in CI)
+GSNP110   direct-device-instantiation  ``Device(...)`` constructed directly
+                                instead of acquired through
+                                ``repro.gpusim.pool`` (``acquire_device`` /
+                                ``DevicePool``) — bare devices bypass the
+                                shared-link accounting and the pool's
+                                residency keying (module-level rule)
 ========  ====================  ==============================================
 
 Rules GSNP201–GSNP205 are registered here but emitted by the static
@@ -81,6 +87,7 @@ RULES: dict[str, str] = {
     "GSNP107": "fusable-in-window-loop",
     "GSNP108": "legacy-pipeline-kwargs",
     "GSNP109": "suppression-without-rationale",
+    "GSNP110": "direct-device-instantiation",
     # -- emitted by gsnp-audit (repro.analyze.dataflow) --------------------
     "GSNP201": "access-pattern-verdict",
     "GSNP202": "static-race",
@@ -612,6 +619,47 @@ class _LegacySpecChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _DeviceInstantiationChecker(ast.NodeVisitor):
+    """GSNP110: devices are acquired from the pool, not constructed.
+
+    Module-level (not kernel-scoped).  Flags any call spelled
+    ``Device(...)`` or ``<mod>.Device(...)``: a bare device has no
+    :class:`~repro.gpusim.pool.HostLink` (its transfers escape the
+    shared-link contention accounting) and no pool device id (its
+    residency cache can collide with a pool device's).  Acquire through
+    :func:`repro.gpusim.pool.acquire_device` or
+    :class:`repro.gpusim.pool.DevicePool` instead; the pool module's own
+    constructor calls carry explicit suppressions, as do harness/test
+    sites that deliberately measure an unpooled device.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diags: list[Diagnostic] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "Device":
+            self.diags.append(Diagnostic(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule="GSNP110",
+                message=(
+                    "direct Device(...) instantiation bypasses the device "
+                    "pool; acquire through repro.gpusim.pool.acquire_device"
+                    " (or DevicePool) so transfers share the modeled host "
+                    "link and residency is keyed by device identity"
+                ),
+            ))
+        self.generic_visit(node)
+
+
 _MIN_RATIONALE_WORDS = 3
 _RATIONALE_WINDOW_ABOVE = 2
 _RATIONALE_WINDOW_BELOW = 1
@@ -694,6 +742,7 @@ def lint_source(
         _FaultSiteChecker(path),
         _FusableLoopChecker(path),
         _LegacySpecChecker(path),
+        _DeviceInstantiationChecker(path),
     ):
         checker.visit(tree)
         for d in checker.diags:

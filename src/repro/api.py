@@ -294,6 +294,19 @@ class JobSpec:
         help="per-shard wall-clock deadline in seconds (process pools "
         "only); an expired shard is killed and retried with backoff",
     ))
+    devices: int = field(default=1, metadata=_cli(
+        "execution", "--devices", type=int,
+        help="modeled GPU devices; >1 runs the heterogeneous multi-device "
+        "scheduler (work-stealing shard deques over a DevicePool sharing "
+        "one PCIe link; gsnp engine only, output bitwise identical to "
+        "serial for any count)",
+    ))
+    cpu_steal: bool = field(default=False, metadata=_cli(
+        "execution", "--cpu-steal", action="boolean_optional",
+        help="add the sparse host engine (gsnp_cpu) as an extra "
+        "work-stealing lane alongside the device pool, so the CPU picks "
+        "up straggler windows (gsnp engine only)",
+    ))
 
     # -- robustness --------------------------------------------------------
     journal: Optional[str] = field(default=None, metadata=_cli(
@@ -344,9 +357,18 @@ class JobSpec:
         return getattr(self.variant, "name", str(self.variant))
 
     @property
+    def uses_device_pool(self) -> bool:
+        """Whether this job runs the heterogeneous multi-device scheduler."""
+        return self.devices > 1 or self.cpu_steal
+
+    @property
     def uses_executor(self) -> bool:
         """Whether this job routes through the sharded executor."""
-        return self.workers > 1 or self.shard_size is not None
+        return (
+            self.workers > 1
+            or self.shard_size is not None
+            or self.uses_device_pool
+        )
 
     def validate(self, require_inputs: bool = False) -> "JobSpec":
         """Raise ``ValueError`` on incoherent field combinations.
@@ -358,14 +380,28 @@ class JobSpec:
         self.resolved_variant()
         if self.resume and not self.journal:
             raise ValueError("resume=True requires a journal directory")
-        if self.sanitize and self.uses_executor:
+        if (
+            self.sanitize
+            and not self.uses_device_pool
+            and (self.workers > 1 or self.shard_size is not None)
+        ):
             raise ValueError(
                 "sanitize=True requires the serial engine (workers=1, no "
                 "shard_size): the sharded executor owns its per-shard "
-                "devices"
+                "devices.  The multi-device scheduler (--devices/"
+                "--cpu-steal) does support the sanitizer — its lanes are "
+                "thread-confined"
             )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
+        if self.uses_device_pool and self.engine != Engine.GSNP.value:
+            raise ValueError(
+                "devices>1 / cpu_steal require the gsnp engine: the "
+                "heterogeneous scheduler pairs the device pool with the "
+                "gsnp_cpu steal lane"
+            )
         if self.megabatch < 1:
             raise ValueError("megabatch must be >= 1")
         if require_inputs and not (self.fasta and self.soap):

@@ -325,9 +325,11 @@ def main_bench(argv=None) -> int:
         "--e2e",
         action="store_true",
         help="measure end-to-end sites/sec with the throughput engine off "
-        "vs on vs fused, write BENCH_e2e.json to the output dir, and exit "
-        "non-zero if any arm's results differ or fusion does not reduce "
-        "kernel launches",
+        "vs on vs fused, sweep the multi-device pool over 1/2/4 devices "
+        "with and without the CPU steal lane, write BENCH_e2e.json and "
+        "BENCH_multidev.json to the output dir, and exit non-zero if any "
+        "arm's results differ, fusion does not reduce kernel launches, or "
+        "multi-device throughput regresses below 1 device",
     )
     args = p.parse_args(argv)
 
@@ -335,7 +337,7 @@ def main_bench(argv=None) -> int:
         import json
         import os
 
-        from .bench.harness import exp_e2e_throughput
+        from .bench.harness import exp_e2e_throughput, exp_multidevice
 
         row = exp_e2e_throughput("ch1-sim", fraction=args.fraction)
         os.makedirs(args.out_dir, exist_ok=True)
@@ -362,7 +364,35 @@ def main_bench(argv=None) -> int:
         launches_down = (
             row["fused"]["launches"] < row["optimized"]["launches"]
         )
-        return 0 if (row["consistent"] and launches_down) else 1
+
+        multi = exp_multidevice("ch1-sim", fraction=args.fraction)
+        mpath = os.path.join(args.out_dir, "BENCH_multidev.json")
+        with open(mpath, "w") as f:
+            json.dump(multi, f, indent=2, sort_keys=True)
+            f.write("\n")
+        for arm in multi["arms"]:
+            lane = f"{arm['devices']}dev" + (
+                "+cpu" if arm["cpu_steal"] else ""
+            )
+            print(
+                f"{lane}: modeled={arm['modeled_seconds'] * 1e3:.2f}ms "
+                f"({arm['speedup_vs_1dev']:.2f}x) "
+                f"launches={arm['launches']} "
+                f"transfers={arm['h2d_count'] + arm['d2h_count']} "
+                f"steals={arm['steals']} "
+                f"consistent={'yes' if arm['consistent'] else 'NO'}"
+            )
+        print(
+            f"multi-device: {multi['max_devices']} devices "
+            f"{multi['speedup_max_devices']:.2f}x over 1 device, "
+            f"{multi['hetero_steals']} steals, "
+            f"consistent={'yes' if multi['consistent'] else 'NO'}"
+        )
+        print(f"wrote {mpath}")
+        multi_ok = (
+            multi["consistent"] and multi["speedup_max_devices"] >= 1.0
+        )
+        return 0 if (row["consistent"] and launches_down and multi_ok) else 1
 
     if args.smoke:
         from .bench.harness import exp_parallel_scaling

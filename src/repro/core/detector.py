@@ -134,6 +134,12 @@ class GsnpDetector:
         When ``workers > 1`` or a ``shard_size`` is set, runs through the
         sharded parallel executor (:func:`repro.exec.execute`) — output is
         bitwise identical to the serial path.
+    devices, cpu_steal:
+        ``devices > 1`` runs on a modeled :class:`~repro.gpusim.pool
+        .DevicePool` through the heterogeneous work-stealing scheduler
+        (:mod:`repro.exec.hetero`); ``cpu_steal=True`` adds the sparse
+        host engine as an extra stealing lane.  Output stays bitwise
+        identical for any device count and steal schedule.
     shard_timeout:
         Per-shard wall-clock deadline in seconds (process pools only); an
         expired shard is killed and retried with exponential backoff.
@@ -162,6 +168,8 @@ class GsnpDetector:
         min_quality: int = 0,
         workers: int = 1,
         shard_size: Optional[int] = None,
+        devices: int = 1,
+        cpu_steal: bool = False,
         sanitize: bool = False,
         prefetch: bool = True,
         cache: bool = True,
@@ -181,6 +189,8 @@ class GsnpDetector:
             min_quality = spec.min_quality
             workers = spec.workers
             shard_size = spec.shard_size
+            devices = spec.devices
+            cpu_steal = spec.cpu_steal
             sanitize = spec.sanitize
             prefetch = spec.prefetch
             cache = spec.cache
@@ -197,6 +207,8 @@ class GsnpDetector:
         self.min_quality = min_quality
         self.workers = workers
         self.shard_size = shard_size
+        self.devices = devices
+        self.cpu_steal = cpu_steal
         self.sanitize = sanitize
         #: Throughput-engine toggles (double-buffered streaming, persistent
         #: device tables, fused megabatch launching); results are bitwise
@@ -234,6 +246,8 @@ class GsnpDetector:
             min_quality=self.min_quality,
             workers=self.workers,
             shard_size=self.shard_size,
+            devices=self.devices,
+            cpu_steal=self.cpu_steal,
             sanitize=self.sanitize,
             prefetch=self.prefetch,
             cache=self.cache,
@@ -267,9 +281,9 @@ class GsnpDetector:
         else:
             device = None
             if self.sanitize:
-                from ..gpusim.device import Device
+                from ..gpusim.pool import acquire_device
 
-                device = Device(sanitize=True)
+                device = acquire_device(sanitize=True)
             pipe = create_pipeline(
                 spec=spec, params=self.params, device=device
             )

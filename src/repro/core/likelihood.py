@@ -92,16 +92,26 @@ class GsnpTables:
         """The ``load_table`` component of Figure 2.
 
         With ``cache`` (default), the bundle is made resident on the device
-        keyed by the calibration fingerprint: repeat loads for the same
-        calibration reuse the uploaded tables instead of re-transferring —
-        the paper's keep-hot-tables-resident recipe.  ``cache=False``
-        always builds and uploads fresh (the caller then owns the free).
+        keyed by the calibration fingerprint *and the device identity*:
+        repeat loads for the same calibration on the same device reuse the
+        uploaded tables instead of re-transferring — the paper's
+        keep-hot-tables-resident recipe.  The device id in the key is what
+        keeps two pool devices from ever sharing one upload: each device
+        of a :class:`~repro.gpusim.pool.DevicePool` holds arrays only it
+        can legally touch, so a fingerprint-only key would alias entry
+        lookups across devices the moment any code consults a residency
+        view wider than one device.  ``cache=False`` always builds and
+        uploads fresh (the caller then owns the free).
         """
         from ..gpusim.residency import array_fingerprint
 
         key = None
         if cache:
-            key = ("gsnp_tables", array_fingerprint(pm_flat, penalty))
+            key = (
+                "gsnp_tables",
+                getattr(device, "device_id", 0),
+                array_fingerprint(pm_flat, penalty),
+            )
             hit = device.resident.get(key)
             if hit is not None:
                 return hit

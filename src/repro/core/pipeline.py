@@ -37,6 +37,7 @@ from ..gpusim.launchplan import (
     build_launch_plan,
     chunk_windows,
 )
+from ..gpusim.pool import acquire_device
 from ..gpusim.spec import CPU_COMPRESS_BW
 from ..seqsim.datasets import SimulatedDataset
 from ..soapsnp.likelihood import (
@@ -287,7 +288,7 @@ class GsnpPipeline:
             if self.cache and self._cached_device is not None:
                 device = self._cached_device
             else:
-                device = Device()
+                device = acquire_device()
                 if self.cache:
                     self._cached_device = device
 

@@ -8,6 +8,7 @@ into a result bitwise identical to the serial run.  Entry point:
 """
 
 from .executor import ExecConfig, execute, release_resident, resident_stats
+from .hetero import pool_stats, run_hetero
 from .merge import merge_profiles, merge_shard_results
 from .pool import PoolBroken, ProcessPool, SerialPool, make_pool
 from .shard import Shard, ShardResult, align_shard_size, plan_shards
@@ -25,6 +26,8 @@ __all__ = [
     "merge_profiles",
     "merge_shard_results",
     "plan_shards",
+    "pool_stats",
     "release_resident",
     "resident_stats",
+    "run_hetero",
 ]

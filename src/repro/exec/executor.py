@@ -105,6 +105,11 @@ class ExecConfig:
     #: Fused ragged-megabatch launching inside each shard run (GPU engine
     #: only; off under degradation, like the other throughput toggles).
     fusion: bool = False
+    #: Modeled devices in the pool; ``> 1`` routes the job through the
+    #: heterogeneous work-stealing scheduler (:mod:`repro.exec.hetero`).
+    devices: int = 1
+    #: Add the sparse host engine as an extra work-stealing lane.
+    cpu_steal: bool = False
     #: Per-shard wall-clock deadline in seconds (process pools only): an
     #: overrunning shard's worker is killed and the shard retried.
     shard_timeout: Optional[float] = None
@@ -138,6 +143,8 @@ class ExecConfig:
             prefetch=spec.prefetch,
             cache=spec.cache,
             fusion=spec.fusion,
+            devices=spec.devices,
+            cpu_steal=spec.cpu_steal,
             shard_timeout=spec.shard_timeout,
             faults=spec.faults,
             journal_dir=spec.journal,
@@ -488,6 +495,8 @@ def _legacy_spec(engine, window_size, variant, config: ExecConfig) -> JobSpec:
         "fusion": config.fusion,
         "workers": config.workers,
         "shard_size": config.shard_size,
+        "devices": config.devices,
+        "cpu_steal": config.cpu_steal,
         "shard_timeout": config.shard_timeout,
         "journal": config.journal_dir,
         "resume": config.resume,
@@ -588,8 +597,13 @@ def execute(
         )
         reads = AlignmentBatch.from_read_set(dataset.reads)
         calibration = pipeline.calibrate(dataset, reads=reads)
+    # The multi-device scheduler needs enough shards for every lane (N
+    # devices + the optional host lane) to hold a deque worth stealing
+    # from, so lanes count as workers for planning purposes.
+    n_lanes = config.devices + (1 if config.cpu_steal else 0)
     shards = plan_shards(
-        dataset.n_sites, eff_window, config.shard_size, config.workers
+        dataset.n_sites, eff_window, config.shard_size,
+        max(config.workers, n_lanes),
     )
 
     # Crash-safe checkpointing: the journal is keyed by a fingerprint of
@@ -615,6 +629,53 @@ def execute(
                     "skipping them",
                     len(committed), len(shards), journal.dir,
                 )
+
+    if config.devices > 1 or config.cpu_steal:
+        # Multi-device jobs run on the heterogeneous work-stealing
+        # scheduler: one lane per pool device (plus the optional host
+        # lane), deque-seeded by the cost model and merged in genomic
+        # order — bytes identical to every other execution mode.
+        if soap_path is not None:
+            raise ValueError(
+                "streaming shard input (soap_path) does not combine with "
+                "the multi-device scheduler: shards are dealt to lane "
+                "deques up front, so the whole read set must be resident"
+            )
+        from .hetero import run_hetero
+
+        pending = [s for s in shards if s.index not in committed]
+        run_spec = replace(
+            spec, window=eff_window, variant=variant_obj, faults=None
+        )
+        t0 = time.perf_counter()
+        ambient = (
+            fault_plan(plan) if plan is not None else contextlib.nullcontext()
+        )
+        with ambient:
+            hetero_results, hetero_meta = run_hetero(
+                dataset, run_spec, params, calibration.strip(), pending,
+                config, journal=journal,
+            )
+        results = list(committed.values()) + hetero_results
+        exec_meta = {
+            "workers": config.workers,
+            "pool": "hetero",
+            "shard_size": shards[0].n_sites if shards else 0,
+            "n_shards": len(shards),
+            "streaming": False,
+            "prefetch": config.prefetch,
+            "cache": config.cache,
+            "fusion": config.fusion,
+            "retries": sum(sr.attempts - 1 for sr in hetero_results),
+            "resumed": len(committed),
+            "shard_timeout": config.shard_timeout,
+            "wall": time.perf_counter() - t0,
+            "hetero": hetero_meta,
+        }
+        return merge_shard_results(
+            results, calibration, output_path=output_path,
+            exec_meta=exec_meta,
+        )
 
     streaming = soap_path is not None
     state = {

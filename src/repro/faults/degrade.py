@@ -18,6 +18,11 @@ rung                      trigger -> action
 ``device-degraded``       device ``AllocationError`` -> rebuild the worker
                           pipeline with residency, prefetch and simulator
                           fast paths disabled, re-run the shard in place
+``device-failed``         a pool device dies mid-run (multi-device
+                          scheduler) -> retire its lane; surviving
+                          device/CPU lanes steal the remaining shards, and
+                          if every lane dies the coordinator finishes the
+                          leftovers on a fresh host-engine pipeline
 ``record-quarantine``     malformed input record -> append it (with
                           file/line/reason coordinates) to the quarantine
                           file and keep parsing
@@ -40,6 +45,7 @@ RUNGS = (
     "pool-serial-fallback",
     "shard-retry",
     "device-degraded",
+    "device-failed",
     "record-quarantine",
 )
 

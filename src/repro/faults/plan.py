@@ -41,6 +41,9 @@ SITES: dict[str, str] = {
     "exec.shard.slow": "shard body stalls (deadline/timeout path)",
     "gpusim.device.alloc": "device allocation raises AllocationError "
     "(residency/fast-path degradation rung)",
+    "gpusim.device.fail": "a pool device dies outright mid-run "
+    "(device-failed rung: the lane retires and surviving lanes/CPU "
+    "steal its remaining shards)",
     "formats.soap.record": "a SOAP input line arrives truncated "
     "(FormatError with coordinates; quarantine rung)",
 }

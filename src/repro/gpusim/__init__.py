@@ -15,6 +15,10 @@ from .costmodel import (
     DiskEvents,
     DiskModel,
     GpuCostModel,
+    LaneUsage,
+    PoolCostModel,
+    predict_lane_rates,
+    predict_split,
 )
 from .device import Device, TransferLog
 from .kernel import KernelContext
@@ -24,8 +28,16 @@ from .memory import (
     fast_paths_enabled,
     set_fast_paths,
 )
+from .pool import DevicePool, HostLink, LinkUsage, acquire_device
 from .residency import DeviceResidency, array_fingerprint
-from .spec import BGI_PLATFORM, CpuSpec, DiskSpec, GpuSpec, PlatformSpec
+from .spec import (
+    BGI_PLATFORM,
+    CpuSpec,
+    DiskSpec,
+    GpuSpec,
+    HostLinkSpec,
+    PlatformSpec,
+)
 from .stream import DeviceStream
 
 __all__ = [
@@ -36,6 +48,7 @@ __all__ = [
     "CpuSpec",
     "Device",
     "DeviceArray",
+    "DevicePool",
     "DeviceResidency",
     "DeviceStream",
     "DiskEvents",
@@ -43,12 +56,20 @@ __all__ = [
     "DiskSpec",
     "GpuCostModel",
     "GpuSpec",
+    "HostLink",
+    "HostLinkSpec",
     "KernelContext",
     "KernelCounters",
+    "LaneUsage",
+    "LinkUsage",
     "PlatformSpec",
+    "PoolCostModel",
     "TransferLog",
+    "acquire_device",
     "array_fingerprint",
     "count_transactions",
     "fast_paths_enabled",
+    "predict_lane_rates",
+    "predict_split",
     "set_fast_paths",
 ]

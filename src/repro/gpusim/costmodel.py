@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 from .counters import KernelCounters
-from .spec import CpuSpec, DiskSpec, GpuSpec
+from .spec import CpuSpec, DiskSpec, GpuSpec, HostLinkSpec
 
 
 # ---------------------------------------------------------------------------
@@ -153,6 +153,132 @@ class CpuCostModel:
             + e.instructions / (s.instr_rate * threads)
             + e.log_calls * s.log_cost / threads
         )
+
+
+# ---------------------------------------------------------------------------
+# Multi-device pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LaneUsage:
+    """Accumulated modeled work of one scheduler lane (device or CPU)."""
+
+    #: Modeled seconds of on-lane compute (kernel roofline or CPU model),
+    #: excluding host<->device transfer time — that is charged to the link.
+    compute_seconds: float = 0.0
+    #: Host<->device bytes this lane moved over the shared link.
+    transfer_bytes: int = 0
+    #: Number of individual transfers (each pays link arbitration).
+    transfer_count: int = 0
+
+
+@dataclass(frozen=True)
+class PoolCostModel:
+    """Makespan model for a :class:`~repro.gpusim.pool.DevicePool` run.
+
+    Lanes compute concurrently, so compute time is the *maximum* over
+    lanes; the host link is shared and serializes, so transfer time is
+    the *sum* over lanes (total bytes over the one bandwidth, plus
+    per-transfer arbitration).  This is deliberately conservative — a
+    real node overlaps some transfer with compute — which keeps the
+    modeled multi-device speedup a lower bound.
+    """
+
+    link: HostLinkSpec = field(default_factory=HostLinkSpec)
+
+    def link_seconds(self, lanes: "list[LaneUsage]") -> float:
+        """Serialized time of all lanes' traffic on the shared link."""
+        total_bytes = sum(l.transfer_bytes for l in lanes)
+        total_count = sum(l.transfer_count for l in lanes)
+        return (
+            total_bytes / self.link.bandwidth
+            + total_count * self.link.per_transfer_overhead
+        )
+
+    def makespan(self, lanes: "list[LaneUsage]") -> float:
+        """Modeled end-to-end seconds: slowest lane + serialized link."""
+        if not lanes:
+            return 0.0
+        return max(l.compute_seconds for l in lanes) + self.link_seconds(lanes)
+
+
+def predict_lane_rates(
+    n_sites: int,
+    read_bases: int,
+    gpu: "GpuCostModel | None" = None,
+    cpu: "CpuCostModel | None" = None,
+) -> tuple[float, float]:
+    """Roofline estimate of (GPU, CPU) calling throughput in sites/s.
+
+    The heterogeneous scheduler needs an *initial* device/CPU split
+    before any shard has run, so this prices one site on each engine
+    from the calibrated per-phase event shapes (the same counters the
+    per-run models consume, scaled per site):
+
+    * GPU: each observation costs a handful of warp-instructions in the
+      fused likelihood kernel plus ~2 coalesced table transactions per
+      site; the roofline takes the max of the two terms.
+    * CPU: the sparse SOAPsnp recurrence pays ~2 cache-missing table
+      lookups and ~60 scalar instructions per observation plus ~10
+      ``log10`` calls per site (the very structure Table III motivates
+      removing on the GPU).
+
+    Work stealing corrects any misprediction at runtime — the split
+    only seeds the deques — so fidelity here buys balance, not
+    correctness.
+    """
+    gpu = gpu or GpuCostModel()
+    cpu = cpu or CpuCostModel()
+    n_sites = max(n_sites, 1)
+    depth = max(read_bases / n_sites, 1.0)
+    # GPU per-site: ~6 warp-instructions per observation across the
+    # fused pipeline (1/32 of the scalar count, warp-vectorized), and
+    # ~2 table-segment transactions per site of coalesced traffic.
+    per_site_inst = 6.0 * depth / gpu.spec.warp_issue_rate
+    per_site_mem = 2.0 * gpu.spec.segment_bytes / gpu.spec.bw_coalesced
+    gpu_site_seconds = max(per_site_inst, per_site_mem)
+    # CPU per-site: latency-priced random lookups dominate, plus the
+    # scalar instruction stream and the per-site log calls.
+    e = CpuEvents(
+        random_accesses=int(2 * depth),
+        instructions=int(60 * depth),
+        log_calls=10,
+    )
+    cpu_site_seconds = cpu.time(e)
+    return 1.0 / gpu_site_seconds, 1.0 / cpu_site_seconds
+
+
+def predict_split(
+    n_shards: int,
+    n_devices: int,
+    cpu_steal: bool,
+    gpu_rate: float,
+    cpu_rate: float,
+) -> list[int]:
+    """Initial shard counts per lane: ``[gpu_0 .. gpu_{N-1}, cpu?]``.
+
+    Shards are apportioned to lanes in proportion to their predicted
+    rates, remainders going to the fastest lanes first.  The counts sum
+    to ``n_shards`` exactly; a lane may receive zero.
+    """
+    if n_shards < 0:
+        raise ValueError("n_shards must be non-negative")
+    if n_devices < 1:
+        raise ValueError("predict_split needs at least one device lane")
+    if gpu_rate <= 0 or cpu_rate <= 0:
+        raise ValueError("lane rates must be positive")
+    rates = [gpu_rate] * n_devices + ([cpu_rate] if cpu_steal else [])
+    total = sum(rates)
+    counts = [int(n_shards * r / total) for r in rates]
+    remainder = n_shards - sum(counts)
+    by_speed = sorted(range(len(rates)), key=lambda i: -rates[i])
+    i = 0
+    while remainder > 0:
+        counts[by_speed[i % len(by_speed)]] += 1
+        remainder -= 1
+        i += 1
+    return counts
 
 
 # ---------------------------------------------------------------------------

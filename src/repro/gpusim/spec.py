@@ -51,6 +51,29 @@ class GpuSpec:
 
 
 @dataclass(frozen=True)
+class HostLinkSpec:
+    """The shared host<->device interconnect of a multi-GPU node.
+
+    A :class:`~repro.gpusim.pool.DevicePool` hangs every device off one
+    :class:`~repro.gpusim.pool.HostLink` built from this spec.  The model
+    is the one SOAP3-dp's multi-GPU split assumes: each PCIe slot may be
+    x16, but all slots funnel through one I/O hub and host-memory
+    controller, so *concurrent* transfers from N devices serialize
+    against the shared ``bandwidth`` rather than scaling it by N.  Every
+    transfer additionally pays ``per_transfer_overhead`` (DMA setup and
+    arbitration), which is what makes many small uploads more expensive
+    than one large one even at equal byte counts.
+    """
+
+    #: Aggregate host<->device bandwidth of the shared link (bytes/s).
+    #: Defaults to the single-slot PCIe gen2 x16 effective rate — the
+    #: conservative "all slots share one hub" assumption.
+    bandwidth: float = 5e9
+    #: Fixed serialized cost per individual transfer (seconds).
+    per_transfer_overhead: float = 10e-6
+
+
+@dataclass(frozen=True)
 class CpuSpec:
     """Static description of the host CPU used by the CPU cost model."""
 

@@ -32,8 +32,16 @@ class DeviceStream:
         self.launches = 0
 
     def enqueue(self, kernel: Callable, n_threads: int, *args, **kwargs):
-        """Launch ``kernel`` in stream order (eager, fully accounted)."""
+        """Launch ``kernel`` in stream order (eager, fully accounted).
+
+        On a pooled device the launch command itself is also noted on
+        the shared :class:`~repro.gpusim.pool.HostLink`: command traffic
+        crosses the same hub as data transfers, and the per-device tally
+        feeds the pool's contention stats.
+        """
         self.launches += 1
+        if self.device.link is not None:
+            self.device.link.note_launch(self.device.device_id)
         return self.device.launch(kernel, n_threads, *args, **kwargs)
 
     def synchronize(self) -> None:

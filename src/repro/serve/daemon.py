@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import Optional
 
 from ..api import JobSpec
-from ..exec import resident_stats
+from ..exec import pool_stats, resident_stats
 from ..faults.journal import JobLedger
 from .protocol import (
     PROTOCOL_VERSION,
@@ -373,6 +373,7 @@ class GsnpServer:
             "scheduler": self.scheduler.stats(),
             "runner": self.runner.stats(),
             "resident": resident_stats(),
+            "devices": pool_stats(),
             "recovered_jobs": list(self.recovered_jobs),
             "accepting": self._accepting,
             **self.config.extra_stats,

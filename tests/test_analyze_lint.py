@@ -636,6 +636,16 @@ _RULE_CASES = {
             v = arr.data  # gsnp-lint: disable=GSNP101,GSNP109
         """,
     ),
+    "GSNP110": (
+        """
+        from repro.gpusim.device import Device
+        device = Device(sanitize=True)
+        """,
+        """
+        from repro.gpusim.device import Device
+        device = Device(sanitize=True)  # gsnp-lint: disable=GSNP110
+        """,
+    ),
     "GSNP201": (
         """
         def k_kernel(ctx, buf):
@@ -763,6 +773,7 @@ class TestDiagnostic:
         assert set(RULES) == {
             "GSNP100", "GSNP101", "GSNP102", "GSNP103", "GSNP104",
             "GSNP105", "GSNP106", "GSNP107", "GSNP108", "GSNP109",
+            "GSNP110",
             "GSNP201", "GSNP202", "GSNP203", "GSNP204", "GSNP205",
         }
 
