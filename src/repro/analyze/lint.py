@@ -52,6 +52,13 @@ GSNP110   direct-device-instantiation  ``Device(...)`` constructed directly
                                 ``DevicePool``) — bare devices bypass the
                                 shared-link accounting and the pool's
                                 residency keying (module-level rule)
+GSNP111   per-sample-launcher-loop  a launcher registered in
+                                ``FUSABLE_LAUNCHERS`` called inside a
+                                per-sample/cohort loop; the sample-major
+                                cohort launch plan batches all samples into
+                                one launch chain — a Python loop over samples
+                                reintroduces O(S x megabatches) launches
+                                (module-level rule)
 ========  ====================  ==============================================
 
 Rules GSNP201–GSNP205 are registered here but emitted by the static
@@ -88,6 +95,7 @@ RULES: dict[str, str] = {
     "GSNP108": "legacy-pipeline-kwargs",
     "GSNP109": "suppression-without-rationale",
     "GSNP110": "direct-device-instantiation",
+    "GSNP111": "per-sample-launcher-loop",
     # -- emitted by gsnp-audit (repro.analyze.dataflow) --------------------
     "GSNP201": "access-pattern-verdict",
     "GSNP202": "static-race",
@@ -569,6 +577,72 @@ class _FusableLoopChecker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+class _SampleLoopChecker(ast.NodeVisitor):
+    """GSNP111: fusable launchers must not run once per cohort sample.
+
+    Module-level (not kernel-scoped); the cohort-mode sibling of GSNP107.
+    A *sample loop* is a ``for`` whose target binds a sample-like name
+    (``for sample in ...``) or whose iterable is a bare name/attribute
+    containing ``sample`` or ``cohort`` (``for b in sample_reads``).
+    Calls inside such a loop to any launcher in
+    :data:`repro.gpusim.launchplan.FUSABLE_LAUNCHERS` are flagged: the
+    sample-major cohort launch plan (``build_cohort_plan``) evaluates all
+    S samples in one launch chain per megabatch, so a Python loop over
+    samples around device launches silently reintroduces the
+    O(S x megabatches) launch cost the cohort mode exists to remove.
+    (A loop over whole solo *runs* — the parity baseline — never calls a
+    launcher directly and is not flagged.)
+    """
+
+    _LOOP_WORDS = ("sample", "cohort")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diags: list[Diagnostic] = []
+
+    @classmethod
+    def _is_sample_loop(cls, node: ast.For) -> bool:
+        names = [
+            n.id for n in ast.walk(node.target) if isinstance(n, ast.Name)
+        ]
+        it = node.iter
+        if isinstance(it, ast.Name):
+            names.append(it.id)
+        elif isinstance(it, ast.Attribute):
+            names.append(it.attr)
+        return any(
+            word in nm.lower() for nm in names for word in cls._LOOP_WORDS
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_sample_loop(node):
+            from ..gpusim.launchplan import FUSABLE_LAUNCHERS
+
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                func = sub.func
+                name = None
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if name in FUSABLE_LAUNCHERS:
+                    self.diags.append(Diagnostic(
+                        path=self.path,
+                        line=getattr(sub, "lineno", node.lineno),
+                        col=getattr(sub, "col_offset", 0) + 1,
+                        rule="GSNP111",
+                        message=(
+                            f"fusable launcher '{name}' called inside a "
+                            "per-sample loop; build a sample-major cohort "
+                            "launch plan (build_cohort_plan) so all "
+                            "samples share one launch chain per megabatch"
+                        ),
+                    ))
+        self.generic_visit(node)
+
+
 class _LegacySpecChecker(ast.NodeVisitor):
     """GSNP108: job knobs travel as a JobSpec, not loose kwargs.
 
@@ -741,6 +815,7 @@ def lint_source(
     for checker in (
         _FaultSiteChecker(path),
         _FusableLoopChecker(path),
+        _SampleLoopChecker(path),
         _LegacySpecChecker(path),
         _DeviceInstantiationChecker(path),
     ):

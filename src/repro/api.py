@@ -225,6 +225,14 @@ class JobSpec:
         "input/output", "soap", positional=True, nargs="?",
         help="SOAP alignment file",
     ))
+    samples: tuple = field(default=(), metadata=_cli(
+        "input/output", "--samples", nargs="+", default=(),
+        metavar="SOAP",
+        help="additional cohort sample SOAP files sharing the reference "
+        "(the positional soap file is sample 0); the cohort runs with one "
+        "pooled calibration, one resident score-table set and sample-major "
+        "fused launches",
+    ))
     prior: Optional[str] = field(default=None, metadata=_cli(
         "input/output", "--prior",
         help="known-SNP prior file",
@@ -336,6 +344,12 @@ class JobSpec:
     def __post_init__(self) -> None:
         if isinstance(self.engine, Engine):
             object.__setattr__(self, "engine", self.engine.value)
+        # Wire payloads and argparse both deliver lists; keep the frozen
+        # spec hashable/picklable with a tuple either way.
+        if self.samples is None:
+            object.__setattr__(self, "samples", ())
+        elif not isinstance(self.samples, tuple):
+            object.__setattr__(self, "samples", tuple(self.samples))
 
     # -- derived views -----------------------------------------------------
 
@@ -355,6 +369,16 @@ class JobSpec:
     def variant_name(self) -> str:
         """The variant's wire spelling (its registered name)."""
         return getattr(self.variant, "name", str(self.variant))
+
+    @property
+    def is_cohort(self) -> bool:
+        """Whether this job calls a multi-sample cohort."""
+        return bool(self.samples)
+
+    @property
+    def n_samples(self) -> int:
+        """Cohort size (the primary soap input is sample 0)."""
+        return 1 + len(self.samples)
 
     @property
     def uses_device_pool(self) -> bool:
@@ -404,6 +428,13 @@ class JobSpec:
             )
         if self.megabatch < 1:
             raise ValueError("megabatch must be >= 1")
+        if self.is_cohort and self.engine not in (
+            Engine.GSNP.value, Engine.GSNP_CPU.value
+        ):
+            raise ValueError(
+                "cohort samples require the gsnp or gsnp_cpu engine: the "
+                "dense baseline has no sample-major batched path"
+            )
         if require_inputs and not (self.fasta and self.soap):
             raise ValueError("a runnable job needs fasta and soap inputs")
         return self

@@ -67,6 +67,14 @@ from .scale import TABLE1_PAPER, TABLE4_PAPER, extrapolate
 #: Default bench fractions keep the simulated-GPU runs to a few seconds.
 DEFAULT_FRACTIONS = {"ch1-sim": 0.2, "ch21-sim": 0.5}
 
+#: Cohort batching must keep launches per fused stage (near-)independent
+#: of S.  The sort/likelihood/recycle stages are exactly constant; the
+#: counting and codec stages carry data-sized sub-chains (tree reduce,
+#: sort passes) that grow ~logarithmically with pileup volume, so the
+#: per-stage launch ratio S-vs-1 is bounded well below S — an unfused
+#: per-sample loop would sit at exactly S.
+LAUNCH_STAGE_RATIO_BOUND = 1.5
+
 _SPECS = {"ch1-sim": CH1_SPEC, "ch21-sim": CH21_SPEC}
 
 
@@ -782,4 +790,147 @@ def exp_e2e_throughput(
             and fus_res.table.equals(base_res.table)
             and fus_res.compressed_output == base_res.compressed_output
         ),
+    }
+
+
+def cohort_batches(ds: SimulatedDataset, n_samples: int):
+    """Alignment batches for an ``n_samples`` cohort over one dataset.
+
+    Sample 0 is the dataset's own read set; further samples are fresh
+    simulated sequencing runs of the *same* diploid individual under the
+    same depth/coverage model (distinct deterministic seeds) — the
+    shared-reference cohort the batched execution mode targets.
+    """
+    from ..seqsim.reads import simulate_reads
+
+    batches = [AlignmentBatch.from_read_set(ds.reads)]
+    spec = ds.spec
+    for i in range(1, n_samples):
+        rs = simulate_reads(
+            ds.diploid,
+            depth=spec.depth,
+            coverage=spec.coverage,
+            read_len=spec.read_len,
+            multihit_fraction=spec.multihit_fraction,
+            seed=spec.seed * 7 + 3 + 1000 * i,
+        )
+        batches.append(AlignmentBatch.from_read_set(rs))
+    return batches
+
+
+def exp_cohort(
+    name: str = "ch1-sim",
+    fraction: float | None = None,
+    samples=(1, 2, 4),
+    window_size: int | None = None,
+) -> dict:
+    """Cohort batching: modeled per-sample cost of fused S-sample runs.
+
+    Sweeps the cohort size S with the fused sample-major path and reports
+    each arm's modeled end-to-end seconds (one pooled ``cal_p_matrix``
+    pass plus the run profile), the per-sample share, the per-sample
+    throughput speedup over the S=1 arm, and the fused launch counts per
+    stage.  The batching wins come from amortization — one input pass,
+    one calibration, one resident table set, one launch chain per
+    megabatch — so per-sample cost must *fall* as S grows while launches
+    per stage stay bounded (``LAUNCH_STAGE_RATIO_BOUND``) instead of
+    scaling with S.
+
+    Every arm is checked bitwise: each cohort member's table and
+    compressed stream must equal a solo *non-fused* serial run of that
+    sample sharing the pooled calibration (the strongest cross-path
+    oracle available — different layout, different launch chain, same
+    bytes).
+    """
+    from ..core.cohort import pooled_batch
+
+    ds = bench_dataset(name, fraction)
+    if window_size is None:
+        # Enough windows that megabatching has something to fuse.
+        window_size = max(ds.n_sites // 16, 256)
+    window = min(effective_window("gsnp", window_size), ds.n_sites)
+    sweep = sorted(set(samples) | {1})
+    all_batches = cohort_batches(ds, max(sweep))
+
+    arms = []
+    consistent = True
+    base_per_sample = None
+    base_stages: dict | None = None
+    for s in sweep:
+        batches = all_batches[:s]
+        pipe = create_pipeline(
+            spec=JobSpec(engine="gsnp", window=window, fusion=True)
+        )
+        cal = pipe.calibrate(ds, reads=pooled_batch(batches))
+        res = pipe.run_cohort(ds, batches, calibration=cal)
+        if hasattr(pipe, "release_cache"):
+            pipe.release_cache()
+        total = cal.record.modeled_time() + res.profile.total_modeled()
+        per_sample = total / s
+
+        solo_pipe = create_pipeline(
+            spec=JobSpec(engine="gsnp", window=window, fusion=False)
+        )
+        ok = True
+        for si, batch in enumerate(batches):
+            solo = solo_pipe.run(ds, calibration=cal, reads=batch)
+            sres = res.sample_result(si)
+            ok = ok and (
+                sres.table.equals(solo.table)
+                and sres.compressed_output == solo.compressed_output
+            )
+        if hasattr(solo_pipe, "release_cache"):
+            solo_pipe.release_cache()
+        consistent = consistent and ok
+
+        fusion = res.extras["fusion"]
+        stages = {
+            k: int(v["launches"]) for k, v in fusion["stages"].items()
+        }
+        if s == 1:
+            base_per_sample = per_sample
+            base_stages = stages
+        ratio = (
+            max(
+                stages[k] / base_stages[k]
+                for k in stages
+                if base_stages.get(k)
+            )
+            if base_stages
+            else 1.0
+        )
+        arms.append({
+            "samples": s,
+            "modeled_seconds": total,
+            "per_sample_seconds": per_sample,
+            "per_sample_sites_per_sec": (
+                ds.n_sites / per_sample if per_sample > 0 else 0.0
+            ),
+            "speedup_per_sample": (
+                base_per_sample / per_sample
+                if base_per_sample and per_sample > 0
+                else 1.0
+            ),
+            "launches": fusion["launches"],
+            "megabatches": fusion["megabatches"],
+            "stages": stages,
+            "launch_stage_ratio_max": ratio,
+            "consistent": ok,
+        })
+    top = max(sweep)
+    top_arm = next(a for a in arms if a["samples"] == top)
+    return {
+        "dataset": name,
+        "n_sites": ds.n_sites,
+        "window_size": window,
+        "fusion": True,
+        "samples": sweep,
+        "arms": arms,
+        "max_samples": top,
+        "speedup_max_samples": top_arm["speedup_per_sample"],
+        "launch_stage_ratio_max": top_arm["launch_stage_ratio_max"],
+        "launches_stage_bounded": (
+            top_arm["launch_stage_ratio_max"] <= LAUNCH_STAGE_RATIO_BOUND
+        ),
+        "consistent": consistent,
     }

@@ -326,10 +326,18 @@ def main_bench(argv=None) -> int:
         action="store_true",
         help="measure end-to-end sites/sec with the throughput engine off "
         "vs on vs fused, sweep the multi-device pool over 1/2/4 devices "
-        "with and without the CPU steal lane, write BENCH_e2e.json and "
-        "BENCH_multidev.json to the output dir, and exit non-zero if any "
-        "arm's results differ, fusion does not reduce kernel launches, or "
-        "multi-device throughput regresses below 1 device",
+        "with and without the CPU steal lane, sweep cohort sizes (see "
+        "--samples), write BENCH_e2e.json, BENCH_multidev.json and "
+        "BENCH_cohort.json to the output dir, and exit non-zero if any "
+        "arm's results differ, fusion does not reduce kernel launches, "
+        "multi-device throughput regresses below 1 device, or cohort "
+        "batching fails its per-sample speedup / bounded-launch gates",
+    )
+    p.add_argument(
+        "--samples", type=int, nargs="+", default=(1, 2, 4),
+        metavar="S",
+        help="cohort sizes for the --e2e cohort sweep (an S=1 baseline "
+        "arm is always included; default: 1 2 4)",
     )
     args = p.parse_args(argv)
 
@@ -337,7 +345,11 @@ def main_bench(argv=None) -> int:
         import json
         import os
 
-        from .bench.harness import exp_e2e_throughput, exp_multidevice
+        from .bench.harness import (
+            exp_cohort,
+            exp_e2e_throughput,
+            exp_multidevice,
+        )
 
         row = exp_e2e_throughput("ch1-sim", fraction=args.fraction)
         os.makedirs(args.out_dir, exist_ok=True)
@@ -392,7 +404,41 @@ def main_bench(argv=None) -> int:
         multi_ok = (
             multi["consistent"] and multi["speedup_max_devices"] >= 1.0
         )
-        return 0 if (row["consistent"] and launches_down and multi_ok) else 1
+
+        cohort = exp_cohort(
+            "ch1-sim", fraction=args.fraction,
+            samples=tuple(args.samples),
+        )
+        cpath = os.path.join(args.out_dir, "BENCH_cohort.json")
+        with open(cpath, "w") as f:
+            json.dump(cohort, f, indent=2, sort_keys=True)
+            f.write("\n")
+        for arm in cohort["arms"]:
+            print(
+                f"S={arm['samples']}: per-sample "
+                f"{arm['per_sample_sites_per_sec']:.0f} sites/s "
+                f"({arm['speedup_per_sample']:.2f}x vs S=1) "
+                f"launches={arm['launches']} "
+                f"stage-ratio={arm['launch_stage_ratio_max']:.2f} "
+                f"consistent={'yes' if arm['consistent'] else 'NO'}"
+            )
+        print(
+            f"cohort: S={cohort['max_samples']} "
+            f"{cohort['speedup_max_samples']:.2f}x per-sample over S=1, "
+            f"stage launch ratio {cohort['launch_stage_ratio_max']:.2f} "
+            f"(bound met: {'yes' if cohort['launches_stage_bounded'] else 'NO'}), "
+            f"consistent={'yes' if cohort['consistent'] else 'NO'}"
+        )
+        print(f"wrote {cpath}")
+        # The per-sample speedup gate only binds once there is real
+        # batching to amortize (S >= 2 in the sweep).
+        cohort_ok = cohort["consistent"] and cohort["launches_stage_bounded"]
+        if cohort["max_samples"] >= 2:
+            cohort_ok = cohort_ok and cohort["speedup_max_samples"] >= 1.5
+
+        return 0 if (
+            row["consistent"] and launches_down and multi_ok and cohort_ok
+        ) else 1
 
     if args.smoke:
         from .bench.harness import exp_parallel_scaling

@@ -179,11 +179,13 @@ class GsnpDetector:
         resume: bool = False,
         quarantine=None,
         faults=None,
+        samples: tuple = (),
         spec: Optional[JobSpec] = None,
     ) -> None:
         if spec is not None:
             spec.validate()
             engine = spec.engine
+            samples = spec.samples
             window_size = spec.window
             variant = spec.variant
             min_quality = spec.min_quality
@@ -222,6 +224,10 @@ class GsnpDetector:
         self.resume = resume
         self.quarantine = quarantine
         self.faults = faults
+        #: Cohort mode: additional sample SOAP paths (the primary soap
+        #: input is sample 0), or prebuilt batches via ``sample_batches``.
+        self.samples = tuple(samples)
+        self.sample_batches = None
         self.dataset: Optional[SimulatedDataset] = None
         self.last_result = None
 
@@ -241,6 +247,7 @@ class GsnpDetector:
         """The detector's current knobs as a :class:`~repro.api.JobSpec`."""
         return JobSpec(
             engine=str(self.engine),
+            samples=self.samples,
             window=self.window_size,
             variant=self.variant,
             min_quality=self.min_quality,
@@ -271,12 +278,22 @@ class GsnpDetector:
                 "with from_files()"
             )
         spec = self.job_spec().validate()
+        sample_reads = self.sample_batches
+        if sample_reads is None and spec.is_cohort:
+            from ..align.records import AlignmentBatch
+            from ..formats.soap import read_soap
+
+            sample_reads = [AlignmentBatch.from_read_set(dataset.reads)]
+            for path in self.samples:
+                sample_reads.append(
+                    read_soap(path, quarantine=self.quarantine)
+                )
         if spec.uses_executor:
             from ..exec import execute
 
             result = execute(
                 dataset, spec=spec, params=self.params,
-                output_path=output_path,
+                output_path=output_path, sample_reads=sample_reads,
             )
         else:
             device = None
@@ -287,7 +304,22 @@ class GsnpDetector:
             pipe = create_pipeline(
                 spec=spec, params=self.params, device=device
             )
-            result = pipe.run(dataset, output_path=output_path)
+            if sample_reads is not None:
+                from .cohort import cohort_output_path
+
+                output_paths = (
+                    [
+                        cohort_output_path(output_path, i)
+                        for i in range(len(sample_reads))
+                    ]
+                    if output_path is not None
+                    else None
+                )
+                result = pipe.run_cohort(
+                    dataset, sample_reads, output_paths=output_paths
+                )
+            else:
+                result = pipe.run(dataset, output_path=output_path)
             if device is not None:
                 # Resident score tables are intentionally long-lived; drop
                 # them before the strict leak check.

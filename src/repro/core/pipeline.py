@@ -34,6 +34,7 @@ from ..gpusim.device import Device
 from ..gpusim.launchplan import (
     MEGABATCH_WINDOWS,
     LaunchTally,
+    build_cohort_plan,
     build_launch_plan,
     chunk_windows,
 )
@@ -603,6 +604,287 @@ class GsnpPipeline:
         return {
             "megabatch_windows": self.megabatch,
             "megabatches": n_megabatches,
+            "launches": tally.total_launches(),
+            "stages": tally.summary(),
+        }
+
+    def run_cohort(
+        self,
+        dataset: SimulatedDataset,
+        sample_reads,
+        output_paths=None,
+        *,
+        site_range: Optional[tuple[int, int]] = None,
+        calibration: Optional[GsnpCalibration] = None,
+    ):
+        """Call SNPs for an S-sample cohort sharing one reference.
+
+        All samples share the same fixed-size reference windows, one
+        pooled calibration (one ``pm_flat`` fingerprint, one resident
+        score-table set per device) and — with fusion — one sample-major
+        launch chain per megabatch, so launches per stage stay
+        O(megabatches) rather than O(S * megabatches).
+
+        Without fusion (or in CPU mode) the cohort degrades to S solo
+        :meth:`run` calls sharing the pooled calibration; that loop *is*
+        the bitwise parity baseline the fused path is tested against.
+
+        ``output_paths``, when given, supplies one output file per
+        sample (entries may be None).  Returns a
+        :class:`repro.core.cohort.CohortResult`.
+        """
+        from .cohort import CohortResult, pooled_batch
+
+        sample_reads = list(sample_reads)
+        n_samples = len(sample_reads)
+        if n_samples == 0:
+            raise PipelineError("cohort needs at least one sample")
+        if output_paths is not None and len(output_paths) != n_samples:
+            raise PipelineError("output_paths must align with samples")
+        profile = RunProfile(
+            pipeline="gsnp" if self.mode == "gpu" else "gsnp_cpu"
+        )
+        own_calibration = calibration is None
+        if own_calibration:
+            calibration = self.calibrate(
+                dataset, reads=pooled_batch(sample_reads)
+            )
+            profile.records["cal_p_matrix"] = calibration.record
+
+        use_fusion = self.fusion and self.mode == "gpu"
+        if not use_fusion:
+            # Parity baseline: S solo runs sharing the pooled calibration
+            # (the per-sample loop GSNP111 exists to flag is a loop over
+            # *launchers*; a loop over whole runs is the baseline, not
+            # the anti-pattern).
+            sample_results = []
+            for si, batch in enumerate(sample_reads):
+                res = self.run(
+                    dataset,
+                    output_path=(
+                        output_paths[si] if output_paths is not None else None
+                    ),
+                    site_range=site_range,
+                    calibration=calibration,
+                    reads=batch,
+                )
+                profile.merge(res.profile)
+                sample_results.append(res)
+            return CohortResult(
+                samples=sample_results,
+                profile=profile,
+                extras={
+                    "cohort": {"samples": n_samples, "fused": False},
+                    "input_bytes": calibration.input_bytes,
+                },
+            )
+
+        device = self.device
+        if device is None:
+            if self.cache and self._cached_device is not None:
+                device = self._cached_device
+            else:
+                device = acquire_device()
+                if self.cache:
+                    self._cached_device = device
+        use_cache = self.cache and not (
+            device is not None and device.sanitizer is not None
+        )
+        tables = GsnpTables.load(
+            device, calibration.pm_flat, calibration.penalty, cache=use_cache
+        )
+        start, stop = (
+            site_range if site_range is not None else (0, dataset.n_sites)
+        )
+        # Window boundaries depend only on (n_sites, window_size, start,
+        # stop), so S lockstep readers always agree on the reference
+        # window each step covers.
+        readers = [
+            WindowReader(
+                batch, dataset.n_sites, self.window_size,
+                start=start, stop=stop,
+            )
+            for batch in sample_reads
+        ]
+        depth = max(PREFETCH_DEPTH, self.megabatch)
+        streams = [
+            prefetched_windows(r, self.prefetch, depth=depth) for r in readers
+        ]
+        per_tables: list[list] = [[] for _ in range(n_samples)]
+        per_blobs: list[list[bytes]] = [[] for _ in range(n_samples)]
+        sort_stats: list = []
+        try:
+            fusion_info = self._run_cohort_fused(
+                zip(*streams), n_samples, device, tables, profile, dataset,
+                calibration.params, calibration.temp_len,
+                calibration.total_reads, per_tables, sort_stats, per_blobs,
+            )
+        except BaseException:
+            if use_cache:
+                self.release_cache()
+            raise
+        finally:
+            if not use_cache:
+                tables.free(device)
+
+        if output_paths is not None:
+            from ..faults.journal import atomic_output
+
+            for si, path in enumerate(output_paths):
+                if path is None:
+                    continue
+                with atomic_output(path) as f:
+                    for blob in per_blobs[si]:
+                        f.write(blob)
+
+        sample_results = []
+        for si in range(n_samples):
+            full = per_tables[si][0]
+            for t in per_tables[si][1:]:
+                full = full.concat(t)
+            compressed = b"".join(per_blobs[si])
+            sample_results.append(
+                GsnpResult(
+                    table=full,
+                    # Cohort-level events live on the cohort profile; the
+                    # shared launch chain is not faked per sample.
+                    profile=RunProfile(pipeline="gsnp"),
+                    compressed_output=compressed,
+                    output_bytes=len(compressed),
+                    temp_input_bytes=calibration.temp_len,
+                    sort_stats=sort_stats if si == 0 else [],
+                )
+            )
+        return CohortResult(
+            samples=sample_results,
+            profile=profile,
+            extras={
+                "cohort": {"samples": n_samples, "fused": True},
+                "fusion": fusion_info,
+                "input_bytes": calibration.input_bytes,
+                "device": device,
+                "peak_gpu_bytes": device.peak_global_used if device else 0,
+            },
+        )
+
+    def _run_cohort_fused(
+        self,
+        window_tuples,
+        n_samples: int,
+        device: Device,
+        tables: GsnpTables,
+        profile: RunProfile,
+        dataset: SimulatedDataset,
+        params: CallingParams,
+        temp_len: int,
+        total_reads: int,
+        per_tables: list,
+        sort_stats: list,
+        per_blobs: list,
+    ) -> dict:
+        """Sample-major fused megabatch loop for a cohort.
+
+        ``window_tuples`` yields S-tuples of :class:`Window`, one per
+        sample, all covering the same reference window.  Each megabatch
+        flattens its W reference windows x S samples sample-major onto
+        one flat site axis (:func:`build_cohort_plan`); from there the
+        launch chain is byte-for-byte the solo fused chain — the kernels
+        are segment-local and never distinguish a sample boundary from a
+        window boundary.  The tally counts *reference* windows, so
+        ``launches / windows`` exposes the per-reference-window cost the
+        sample axis amortises.
+        """
+        from ..compress.fusedcodec import encode_tables_fused
+
+        tally = LaunchTally()
+        n_megabatches = 0
+        fused_name = f"likelihood_posterior_fused_{self.variant.name}"
+        for group in chunk_windows(window_tuples, self.megabatch):
+            n_megabatches += 1
+            n_ref_windows = len(group)
+
+            # ---- read_site: decompress the pooled temp input ---------------
+            rec = profile.phase("read_site")
+            with _PhaseScope(rec, device):
+                group_reads = [[w.reads for w in tup] for tup in group]
+            for tup_reads in group_reads:
+                n = sum(r.n_reads for r in tup_reads)
+                frac = n / max(total_reads, 1)
+                rec.disk.read_buffered_bytes += int(temp_len * frac)
+                rec.cpu.instructions += n * 8
+
+            # ---- counting: sample-major merged megabatch -------------------
+            rec = profile.phase("counting")
+            with _PhaseScope(rec, device):
+                flat_windows = [
+                    group[wi][si]
+                    for si in range(n_samples)
+                    for wi in range(n_ref_windows)
+                ]
+                flat_samples = [
+                    si
+                    for si in range(n_samples)
+                    for _ in range(n_ref_windows)
+                ]
+                obs_list = [extract_observations(w) for w in flat_windows]
+                plan = build_cohort_plan(
+                    flat_windows, [o.n_obs for o in obs_list], flat_samples
+                )
+                merged = merge_observations(obs_list, plan)
+                with tally.measure(device, "counting", n_ref_windows):
+                    words, offsets = gsnp_counting(device, merged)
+            rec.cpu.instructions += merged.n_obs * 4
+
+            # ---- likelihood: cross-sample sort + fused comp+posterior ------
+            rec = profile.phase("likelihood")
+            with _PhaseScope(rec, device):
+                with tally.measure(device, "likelihood_sort", n_ref_windows):
+                    wsorted, stats = gsnp_likelihood_sort(
+                        device, words, offsets
+                    )
+                sort_stats.append(stats)
+                with tally.measure(device, fused_name, n_ref_windows):
+                    type_likely = gsnp_likelihood_posterior_fused(
+                        device, wsorted, offsets, tables, self.variant
+                    )
+
+            # ---- posterior: host summaries + in-kernel epilogue charge -----
+            rec = profile.phase("posterior")
+            with _PhaseScope(rec, device):
+                seg_tables = []
+                for seg, obs_w in zip(plan.segments, obs_list):
+                    ref_codes = dataset.reference.codes[seg.start:seg.end]
+                    seg_tables.append(summarize_window(
+                        obs_w, seg.start, ref_codes, dataset.prior,
+                        type_likely[seg.site_slice], params,
+                        chrom=dataset.reference.name,
+                    ))
+                    fused_posterior_tail(
+                        device, fused_name, seg.n_sites, obs_w.n_obs
+                    )
+
+            # ---- output: segmented compression, routed per sample ----------
+            rec = profile.phase("output")
+            with _PhaseScope(rec, device):
+                with tally.measure(device, "output_compress", n_ref_windows):
+                    group_blobs = encode_tables_fused(device, seg_tables)
+            for seg, table, blob in zip(plan.segments, seg_tables, group_blobs):
+                per_tables[seg.sample].append(table)
+                per_blobs[seg.sample].append(blob)
+                rec.disk.write_bytes += len(blob)
+                rec.transfer_bytes += len(blob)
+
+            # ---- recycle ---------------------------------------------------
+            rec = profile.phase("recycle")
+            with _PhaseScope(rec, device):
+                with tally.measure(device, "recycle", n_ref_windows):
+                    gsnp_recycle_fused(
+                        device, words.size, plan.n_sites, plan.n_windows
+                    )
+        return {
+            "megabatch_windows": self.megabatch,
+            "megabatches": n_megabatches,
+            "samples": n_samples,
             "launches": tally.total_launches(),
             "stages": tally.summary(),
         }

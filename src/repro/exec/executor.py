@@ -261,14 +261,26 @@ def _run_shard(task) -> ShardResult:
             st["pipeline"] = pipeline
             if resident:
                 _resident_pipelines()[_resident_key(spec)] = pipeline
-        run_kwargs = dict(
-            site_range=(shard.start, shard.end),
-            calibration=st["calibration"],
-            reads=batch,
-        )
+        cohort_samples = st.get("samples")
+
+        def _invoke(pipe):
+            if cohort_samples is not None:
+                return pipe.run_cohort(
+                    st["dataset"],
+                    cohort_samples,
+                    site_range=(shard.start, shard.end),
+                    calibration=st["calibration"],
+                )
+            return pipe.run(
+                st["dataset"],
+                site_range=(shard.start, shard.end),
+                calibration=st["calibration"],
+                reads=batch,
+            )
+
         t0 = time.perf_counter()
         try:
-            result = pipeline.run(st["dataset"], **run_kwargs)
+            result = _invoke(pipeline)
         except AllocationError as exc:
             # Degradation rung: the device could not satisfy the resident
             # footprint.  Rebuild this worker's pipeline with residency,
@@ -291,10 +303,25 @@ def _run_shard(task) -> ShardResult:
             try:
                 with fault_scope(degraded=True):
                     pipeline = _make_pipeline(st, degraded=True)
-                    result = pipeline.run(st["dataset"], **run_kwargs)
+                    result = _invoke(pipeline)
             finally:
                 set_fast_paths(prev_fast)
         wall = time.perf_counter() - t0
+    if cohort_samples is not None:
+        return ShardResult(
+            shard=shard,
+            table=result.samples[0].table,
+            profile=result.profile,
+            compressed=result.samples[0].compressed_output,
+            output_bytes=result.output_bytes,
+            sort_stats=result.samples[0].sort_stats,
+            peak_gpu_bytes=result.extras.get("peak_gpu_bytes", 0),
+            wall=wall,
+            attempts=attempt + 1,
+            pid=os.getpid(),
+            sample_tables=[s.table for s in result.samples],
+            sample_compressed=[s.compressed_output for s in result.samples],
+        )
     return ShardResult(
         shard=shard,
         table=result.table,
@@ -523,6 +550,7 @@ def execute(
     config: Optional[ExecConfig] = None,
     calibration=None,
     resident: bool = False,
+    sample_reads=None,
     **config_kwargs,
 ):
     """Run a calling job as parallel window-aligned shards.
@@ -547,6 +575,16 @@ def execute(
     and ``resident=True`` (keep the in-process worker pipeline, device and
     uploaded tables in a per-thread cache across calls; implies the serial
     pool so the resident device stays thread-confined).
+
+    ``sample_reads`` switches the job to cohort mode: a list of full
+    alignment batches (sample 0 first) that every shard slices by its own
+    site range via the window reader.  When the spec names ``samples``
+    paths and ``sample_reads`` is not given, the extra samples are parsed
+    here (sample 0 stays the dataset's own reads).  Cohort mode shards
+    by site range exactly like a solo run — every shard calls
+    ``run_cohort`` over all S samples for its windows — so per-sample
+    merged outputs are bitwise identical to S solo runs sharing the
+    pooled calibration.
     """
     if spec is not None:
         stray = {
@@ -589,13 +627,40 @@ def execute(
     eff_window = effective_window(spec.engine, spec.window)
     variant_obj = spec.resolved_variant()
 
+    if sample_reads is None and spec.samples:
+        # Parse the extra cohort inputs; sample 0 is always the
+        # dataset's own reads (the primary soap input).
+        from ..formats.soap import read_soap
+
+        sample_reads = [AlignmentBatch.from_read_set(dataset.reads)]
+        for path in spec.samples:
+            sample_reads.append(
+                read_soap(path, quarantine=config.quarantine)
+            )
+    if sample_reads is not None:
+        sample_reads = list(sample_reads)
+        if not sample_reads:
+            raise ValueError("sample_reads must name at least one sample")
+        if soap_path is not None:
+            raise ValueError(
+                "streaming shard input (soap_path) does not combine with "
+                "cohort mode: every shard windows all S resident batches"
+            )
+
     # The one-time calibration pass — skipped entirely when the caller
-    # supplies a cached calibration for this dataset/engine/params.
+    # supplies a cached calibration for this dataset/engine/params.  A
+    # cohort calibrates over the pooled reads of all samples: one
+    # pm_flat fingerprint, one resident score-table set per device.
     if calibration is None:
         pipeline = create_pipeline(
             spec=replace(spec, faults=None), params=params
         )
-        reads = AlignmentBatch.from_read_set(dataset.reads)
+        if sample_reads is not None:
+            from ..core.cohort import pooled_batch
+
+            reads = pooled_batch(sample_reads)
+        else:
+            reads = AlignmentBatch.from_read_set(dataset.reads)
         calibration = pipeline.calibrate(dataset, reads=reads)
     # The multi-device scheduler needs enough shards for every lane (N
     # devices + the optional host lane) to hold a deque worth stealing
@@ -619,6 +684,7 @@ def execute(
             dataset.n_sites,
             [(s.start, s.end) for s in shards],
             calibration,
+            n_samples=len(sample_reads) if sample_reads is not None else 1,
         )
         journal = ShardJournal(config.journal_dir, fingerprint)
         if config.resume:
@@ -654,7 +720,7 @@ def execute(
         with ambient:
             hetero_results, hetero_meta = run_hetero(
                 dataset, run_spec, params, calibration.strip(), pending,
-                config, journal=journal,
+                config, journal=journal, sample_reads=sample_reads,
             )
         results = list(committed.values()) + hetero_results
         exec_meta = {
@@ -669,6 +735,7 @@ def execute(
             "retries": sum(sr.attempts - 1 for sr in hetero_results),
             "resumed": len(committed),
             "shard_timeout": config.shard_timeout,
+            "samples": len(sample_reads) if sample_reads is not None else 1,
             "wall": time.perf_counter() - t0,
             "hetero": hetero_meta,
         }
@@ -688,6 +755,8 @@ def execute(
         "faults": plan,
         "resident": resident,
     }
+    if sample_reads is not None:
+        state["samples"] = sample_reads
     if streaming:
         batches = ShardBatchReader(
             soap_path,
@@ -746,6 +815,7 @@ def execute(
         "retries": retries_used,
         "resumed": len(committed),
         "shard_timeout": config.shard_timeout,
+        "samples": len(sample_reads) if sample_reads is not None else 1,
         "wall": time.perf_counter() - t0,
     }
     return merge_shard_results(

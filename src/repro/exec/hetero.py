@@ -110,6 +110,7 @@ class _HeteroRun:
         shards: list[Shard],
         config,
         journal,
+        sample_reads=None,
     ) -> None:
         self.dataset = dataset
         self.spec = spec
@@ -118,6 +119,9 @@ class _HeteroRun:
         self.shards = shards
         self.config = config
         self.journal = journal
+        #: Cohort mode: full per-sample alignment batches (sample 0
+        #: first); every lane windows all S samples for its shard range.
+        self.sample_reads = sample_reads
         self.lock = threading.Lock()
         self.results: dict[int, ShardResult] = {}
         self.error: Optional[BaseException] = None
@@ -248,8 +252,15 @@ class _HeteroRun:
 
         Owner pops from the head of its own deque; a thief takes from the
         *tail* of the fullest other deque (including a dead lane's — that
-        is how orphaned work drains).  Returns ``(shard, attempt, stolen)``
-        or ``None`` when every deque is empty or no steal would help.
+        is how orphaned work drains).  A steal grabs *half the victim's
+        backlog* (at least one shard), Cilk-style: the thief runs the
+        first stolen shard now and queues the rest on its own deque, so
+        an imbalance is corrected in O(log n) steals instead of one
+        lock-contended steal per shard.  Tail order is preserved, which
+        keeps the schedule deterministic for a given interleaving —
+        output bytes are schedule-independent regardless.  Returns
+        ``(shard, attempt, stolen)`` or ``None`` when every deque is
+        empty or no steal would help.
         """
         with self.lock:
             if self.error is not None:
@@ -267,8 +278,14 @@ class _HeteroRun:
             victim = max(victims, key=lambda o: (len(o.deque), -o.lane_id))
             if not self._steal_helps(lane, victim) and not victim.dead:
                 return None
-            shard, attempt = victim.deque.pop()
-            lane.steals += 1
+            grab = max(1, len(victim.deque) // 2)
+            taken = [victim.deque.pop() for _ in range(grab)]
+            lane.steals += grab
+            # ``taken`` came off the tail newest-first; re-queue the
+            # surplus on the thief preserving the victim's order.
+            shard, attempt = taken[-1]
+            for entry in reversed(taken[:-1]):
+                lane.deque.append(entry)
             return shard, attempt, True
 
     def _run_one(self, lane: _Lane, shard: Shard, attempt: int) -> ShardResult:
@@ -281,12 +298,37 @@ class _HeteroRun:
             fault_point("exec.shard.error", key=shard.index)
             fault_point("exec.shard.slow", key=shard.index)
             t0 = time.perf_counter()
-            result = pipeline.run(
-                self.dataset,
-                site_range=(shard.start, shard.end),
-                calibration=self._lane_calibration(lane),
-            )
+            if self.sample_reads is not None:
+                result = pipeline.run_cohort(
+                    self.dataset,
+                    self.sample_reads,
+                    site_range=(shard.start, shard.end),
+                    calibration=self._lane_calibration(lane),
+                )
+            else:
+                result = pipeline.run(
+                    self.dataset,
+                    site_range=(shard.start, shard.end),
+                    calibration=self._lane_calibration(lane),
+                )
             wall = time.perf_counter() - t0
+        if self.sample_reads is not None:
+            return ShardResult(
+                shard=shard,
+                table=result.samples[0].table,
+                profile=result.profile,
+                compressed=result.samples[0].compressed_output,
+                output_bytes=result.output_bytes,
+                sort_stats=result.samples[0].sort_stats,
+                peak_gpu_bytes=result.extras.get("peak_gpu_bytes", 0),
+                wall=wall,
+                attempts=attempt + 1,
+                pid=lane.lane_id,
+                sample_tables=[s.table for s in result.samples],
+                sample_compressed=[
+                    s.compressed_output for s in result.samples
+                ],
+            )
         return ShardResult(
             shard=shard,
             table=result.table,
@@ -503,6 +545,7 @@ def run_hetero(
     shards: list[Shard],
     config,
     journal=None,
+    sample_reads=None,
 ) -> tuple[list[ShardResult], dict]:
     """Execute ``shards`` across the device pool + optional CPU lane.
 
@@ -513,7 +556,7 @@ def run_hetero(
     retry budget on every lane that tried it.
     """
     run = _HeteroRun(dataset, spec, params, calibration, shards, config,
-                     journal)
+                     journal, sample_reads=sample_reads)
     try:
         counts = run.deal()
         threads = [

@@ -49,6 +49,52 @@ def merge_profiles(
     return profile
 
 
+def _merge_cohort(
+    results: list[ShardResult], calibration, profile, extras, output_path
+):
+    """Reassemble a cohort run: per-sample genomic-order concatenation.
+
+    Each shard carries one table/blob per sample; sample ``i``'s merged
+    output is exactly what sample ``i``'s solo sharded run (with the
+    pooled calibration) would have produced.  Sample 0 writes to
+    ``output_path``; sample ``i`` to ``<output_path>.s<i>``.
+    """
+    from ..core.cohort import CohortResult, cohort_output_path
+
+    n_samples = len(results[0].sample_tables)
+    if any(len(sr.sample_tables or ()) != n_samples for sr in results):
+        raise PipelineError("shard results disagree on cohort size")
+    samples = []
+    for si in range(n_samples):
+        table = results[0].sample_tables[si]
+        for sr in results[1:]:
+            table = table.concat(sr.sample_tables[si])
+        compressed = b"".join(sr.sample_compressed[si] for sr in results)
+        if output_path is not None:
+            with atomic_output(cohort_output_path(output_path, si)) as f:
+                f.write(compressed)
+        samples.append(
+            GsnpResult(
+                table=table,
+                profile=RunProfile(pipeline=results[0].profile.pipeline),
+                compressed_output=compressed,
+                output_bytes=len(compressed),
+                temp_input_bytes=calibration.temp_len,
+                sort_stats=(
+                    [s for sr in results for s in sr.sort_stats]
+                    if si == 0
+                    else []
+                ),
+            )
+        )
+    extras["cohort"] = {"samples": n_samples}
+    extras["device"] = None
+    extras["peak_gpu_bytes"] = max(
+        (sr.peak_gpu_bytes for sr in results), default=0
+    )
+    return CohortResult(samples=samples, profile=profile, extras=extras)
+
+
 def merge_shard_results(
     results: list[ShardResult],
     calibration,
@@ -81,6 +127,10 @@ def merge_shard_results(
         extras["exec"] = dict(exec_meta)
 
     family = results[0].profile.pipeline
+    if results[0].sample_tables is not None:
+        return _merge_cohort(
+            results, calibration, profile, extras, output_path
+        )
     if family in ("gsnp", "gsnp_cpu"):
         compressed = b"".join(sr.compressed for sr in results)
         if output_path is not None:

@@ -93,6 +93,12 @@ class ShardResult:
     #: 1 + number of retries it took to produce this result.
     attempts: int = 1
     pid: int = 0
+    #: Cohort runs: per-sample result tables for this shard's range
+    #: (cohort order; ``table``/``compressed`` then mirror sample 0).
+    sample_tables: Optional[list] = None
+    #: Cohort runs: per-sample compressed blobs, aligned with
+    #: ``sample_tables``.
+    sample_compressed: Optional[list] = None
 
     @property
     def sites_per_second(self) -> float:

@@ -45,11 +45,21 @@ def run_fingerprint(
     n_sites: int,
     shard_bounds,
     calibration,
+    n_samples: int = 1,
 ) -> str:
-    """Hash of everything that determines a shard's output bytes."""
+    """Hash of everything that determines a shard's output bytes.
+
+    ``n_samples`` separates cohort journals from solo ones: a cohort
+    shard result carries S payloads, so a resume must never splice a
+    solo run's committed shard (or a different cohort size's) into the
+    merge.  The pooled calibration already differs by sample *content*;
+    this covers the degenerate case of identical pooled bytes.
+    """
     h = hashlib.sha256()
     h.update(f"v{JOURNAL_VERSION}|{engine}|{window_size}|".encode())
     h.update(f"{variant_name}|{n_sites}|".encode())
+    if n_samples != 1:
+        h.update(f"cohort{n_samples}|".encode())
     for start, end in shard_bounds:
         h.update(f"{start}:{end},".encode())
     for arr in (calibration.pm_flat, calibration.penalty):

@@ -55,6 +55,11 @@ class WindowSegment:
     ``site_offset``/``obs_offset`` locate the window's slice on the flat
     site and observation axes; ``start``/``end`` are its reference
     coordinates, unchanged from the underlying :class:`Window`.
+    ``sample`` is the cohort sample this segment belongs to (0 for a
+    single-sample plan): a cohort megabatch lays S samples' copies of
+    the same reference windows out sample-major on one flat axis, so the
+    segment kernels never distinguish "another window" from "another
+    sample's window".
     """
 
     index: int
@@ -63,6 +68,7 @@ class WindowSegment:
     n_sites: int
     site_offset: int
     obs_offset: int
+    sample: int = 0
 
     @property
     def site_slice(self) -> slice:
@@ -85,6 +91,17 @@ class LaunchPlan:
     @property
     def n_windows(self) -> int:
         return len(self.segments)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of cohort samples laid out in this plan (1 if solo)."""
+        if not self.segments:
+            return 1
+        return max(seg.sample for seg in self.segments) + 1
+
+    def sample_segments(self, sample: int) -> Tuple[WindowSegment, ...]:
+        """The segments belonging to one cohort sample, in window order."""
+        return tuple(seg for seg in self.segments if seg.sample == sample)
 
     @property
     def site_offsets(self) -> np.ndarray:
@@ -115,6 +132,48 @@ def build_launch_plan(windows: Sequence, obs_counts: Sequence[int]) -> LaunchPla
                 n_sites=window.n_sites,
                 site_offset=site_off,
                 obs_offset=obs_off,
+            )
+        )
+        site_off += window.n_sites
+        obs_off += int(n_obs)
+    return LaunchPlan(segments=tuple(segments), n_sites=site_off, n_obs=obs_off)
+
+
+def build_cohort_plan(
+    windows: Sequence,
+    obs_counts: Sequence[int],
+    samples: Sequence[int],
+) -> LaunchPlan:
+    """Lay a sample-major cohort megabatch out on one flat axis.
+
+    ``windows``/``obs_counts``/``samples`` are parallel and already in
+    sample-major order: all of sample 0's windows for this megabatch,
+    then all of sample 1's, and so on.  Segment indices stay sequential
+    (0 .. S*W-1) because the flat-axis machinery — ``site_offsets``,
+    :func:`repro.core.fused.merge_observations`, the segmented
+    primitives — is segment-count agnostic; the ``sample`` tag exists
+    only so the host epilogue can route each window's result table back
+    to its own sample's output stream.
+    """
+    if not len(windows) == len(obs_counts) == len(samples):
+        raise ValueError("windows, obs_counts and samples must align")
+    if list(samples) != sorted(samples):
+        raise ValueError("cohort plan segments must be sample-major")
+    segments: List[WindowSegment] = []
+    site_off = 0
+    obs_off = 0
+    for i, (window, n_obs, sample) in enumerate(
+        zip(windows, obs_counts, samples)
+    ):
+        segments.append(
+            WindowSegment(
+                index=i,
+                start=window.start,
+                end=window.end,
+                n_sites=window.n_sites,
+                site_offset=site_off,
+                obs_offset=obs_off,
+                sample=int(sample),
             )
         )
         site_off += window.n_sites
@@ -187,6 +246,7 @@ __all__ = [
     "LaunchTally",
     "MEGABATCH_WINDOWS",
     "WindowSegment",
+    "build_cohort_plan",
     "build_launch_plan",
     "chunk_windows",
 ]

@@ -54,12 +54,20 @@ def file_fingerprint(path) -> str:
 
 
 def job_input_key(spec: JobSpec) -> tuple:
-    """Content-derived identity of a job's parsed inputs."""
-    return (
+    """Content-derived identity of a job's parsed inputs.
+
+    The first three entries (fasta, primary soap, prior) identify the
+    parsed *dataset*; cohort jobs append one fingerprint per extra
+    sample.  Callers that cache the dataset key on the primary triple
+    (``key[:3]``) therefore share parsed inputs between a solo job and
+    any cohort led by the same sample.
+    """
+    key = (
         file_fingerprint(spec.fasta),
         file_fingerprint(spec.soap),
         file_fingerprint(spec.prior) if spec.prior else "none",
     )
+    return key + tuple(file_fingerprint(p) for p in spec.samples)
 
 
 def write_job_output(result, spec: JobSpec) -> bytes:
@@ -68,6 +76,25 @@ def write_job_output(result, spec: JobSpec) -> bytes:
     Returns the rendered bytes (compressed blob or CNS text) and, when
     the spec names an output path, writes them there atomically.
     """
+    samples = getattr(result, "samples", None)
+    if samples is not None:
+        # Cohort job: one file per sample (sample 0 at spec.output,
+        # sample i at <output>.s<i>); the returned inline bytes are the
+        # per-sample renderings concatenated in cohort order.
+        from ..core.cohort import cohort_output_path
+        from ..formats.cns import format_rows
+
+        blobs = []
+        for si, sres in enumerate(samples):
+            if spec.compressed:
+                sample_blob = sres.compressed_output
+            else:
+                sample_blob = format_rows(sres.table)
+            blobs.append(sample_blob)
+            if spec.output:
+                with atomic_output(cohort_output_path(spec.output, si)) as f:
+                    f.write(sample_blob)
+        return b"".join(blobs)
     table = result.table
     if spec.compressed:
         if spec.engine == "soapsnp":
@@ -92,9 +119,13 @@ def job_summary(result, spec: JobSpec, wall: float) -> str:
 
     table = result.table
     snps = is_snp_call(table) & (table.quality >= spec.min_quality)
+    cohort = ""
+    n_samples = getattr(result, "n_samples", 1)
+    if n_samples > 1:
+        cohort = f" [cohort of {n_samples} samples; sample-0 counts]"
     return (
         f"{spec.engine}: {table.n_sites} sites, {int(snps.sum())} SNP "
-        f"calls (q>={spec.min_quality}) in {wall:.2f}s"
+        f"calls (q>={spec.min_quality}) in {wall:.2f}s{cohort}"
     )
 
 
@@ -131,6 +162,32 @@ class DatasetCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
         return dataset
+
+    def get_sample(self, path, fingerprint: str, quarantine=None):
+        """A parsed cohort sample batch, keyed by content fingerprint.
+
+        Shares this cache's LRU (sample keys are tagged so they can
+        never collide with dataset keys); quarantine parses bypass the
+        cache like dataset parses do.
+        """
+        from ..formats.soap import read_soap
+
+        if quarantine:
+            return read_soap(path, quarantine=quarantine)
+        key = ("sample", fingerprint)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+        batch = read_soap(path)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = batch
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return batch
 
     def stats(self) -> dict:
         """Hit/miss counters and current size."""
@@ -262,7 +319,23 @@ class ResidentRunner:
         spec = job.spec.validate(require_inputs=True)
         t0 = time.perf_counter()
         input_key = job_input_key(spec)
-        dataset = self.datasets.get(spec, input_key)
+        # The dataset is identified by the primary (fasta, soap, prior)
+        # triple alone, so a solo job and a cohort led by the same sample
+        # hit the same parsed entry; the calibration key keeps the full
+        # cohort identity (pooled reads differ per cohort).
+        dataset = self.datasets.get(spec, input_key[:3])
+
+        sample_reads = None
+        if spec.is_cohort:
+            from ..align.records import AlignmentBatch
+
+            sample_reads = [AlignmentBatch.from_read_set(dataset.reads)]
+            for path, fp in zip(spec.samples, input_key[3:]):
+                sample_reads.append(
+                    self.datasets.get_sample(
+                        path, fp, quarantine=spec.quarantine
+                    )
+                )
 
         cal_key = self.calibrations.cache_key(spec, input_key)
         calibration = self.calibrations.get(cal_key)
@@ -273,7 +346,12 @@ class ResidentRunner:
             pipe = create_pipeline(
                 spec=replace(spec, faults=None, sanitize=False)
             )
-            reads = AlignmentBatch.from_read_set(dataset.reads)
+            if sample_reads is not None:
+                from ..core.cohort import pooled_batch
+
+                reads = pooled_batch(sample_reads)
+            else:
+                reads = AlignmentBatch.from_read_set(dataset.reads)
             calibration = pipe.calibrate(dataset, reads=reads).strip()
             self.calibrations.put(cal_key, calibration)
 
@@ -286,7 +364,8 @@ class ResidentRunner:
             resume=bool(job.recovered),
         )
         result = execute(
-            dataset, spec=run_spec, calibration=calibration, resident=True
+            dataset, spec=run_spec, calibration=calibration, resident=True,
+            sample_reads=sample_reads,
         )
         blob = write_job_output(result, spec)
         wall = time.perf_counter() - t0

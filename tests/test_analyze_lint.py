@@ -469,6 +469,63 @@ class TestGsnp107FusableInWindowLoop:
         assert diags == []
 
 
+class TestGsnp111PerSampleLauncherLoop:
+    """Fusable launchers belong in the sample-major cohort plan, not
+    per-sample Python loops."""
+
+    def test_fusable_call_in_sample_loop_flagged(self):
+        diags = _lint(
+            """
+            def run(device, samples):
+                for sample in samples:
+                    gsnp_counting(device, sample)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP111"]
+        assert "gsnp_counting" in diags[0].message
+        assert "build_cohort_plan" in diags[0].message
+
+    def test_cohort_iterable_flagged(self):
+        diags = _lint(
+            """
+            def run(device, cohort_batches):
+                for b in cohort_batches:
+                    gsnp_posterior(device, b)
+            """
+        )
+        assert [d.rule for d in diags] == ["GSNP111"]
+
+    def test_non_launcher_sample_loop_is_fine(self):
+        diags = _lint(
+            """
+            def run(samples):
+                for sample in samples:
+                    process(sample)
+            """
+        )
+        assert diags == []
+
+    def test_non_sample_loop_is_fine(self):
+        diags = _lint(
+            """
+            def run(device, shards):
+                for shard in shards:
+                    gsnp_counting(device, shard)
+            """
+        )
+        assert diags == []
+
+    def test_suppression_comment_works(self):
+        diags = _lint(
+            """
+            def run(device, samples):
+                for sample in samples:
+                    gsnp_recycle(device, 1, 2)  # gsnp-lint: disable=GSNP111
+            """
+        )
+        assert diags == []
+
+
 class TestGsnp109Rationale:
     """Suppressions must say why (opt-in via require_rationale)."""
 
@@ -646,6 +703,18 @@ _RULE_CASES = {
         device = Device(sanitize=True)  # gsnp-lint: disable=GSNP110
         """,
     ),
+    "GSNP111": (
+        """
+        def run(device, samples):
+            for sample in samples:
+                gsnp_counting(device, sample)
+        """,
+        """
+        def run(device, samples):
+            for sample in samples:
+                gsnp_counting(device, sample)  # gsnp-lint: disable=GSNP111
+        """,
+    ),
     "GSNP201": (
         """
         def k_kernel(ctx, buf):
@@ -773,7 +842,7 @@ class TestDiagnostic:
         assert set(RULES) == {
             "GSNP100", "GSNP101", "GSNP102", "GSNP103", "GSNP104",
             "GSNP105", "GSNP106", "GSNP107", "GSNP108", "GSNP109",
-            "GSNP110",
+            "GSNP110", "GSNP111",
             "GSNP201", "GSNP202", "GSNP203", "GSNP204", "GSNP205",
         }
 

@@ -1,0 +1,268 @@
+"""Cohort-batched multi-sample calling: parity, residency, resume.
+
+The load-bearing invariant: every member of an S-sample cohort produces
+output *bitwise identical* to its own solo serial run sharing the pooled
+calibration — under any combination of fusion, worker count, device
+count, sanitizer, and crash/resume schedule.  The batching is pure
+amortization (one input pass, one resident table set, one sample-major
+launch chain); it must never be visible in the bytes.
+"""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.align.records import AlignmentBatch
+from repro.api import JobSpec, create_pipeline
+from repro.core.cohort import cohort_output_path, pooled_batch
+from repro.core.detector import GsnpDetector
+from repro.errors import PipelineError, ShardError
+from repro.exec import execute, plan_shards
+from repro.faults import DegradationWarning, FaultPlan, FaultSpec
+from repro.seqsim.datasets import DatasetSpec, generate_dataset
+from repro.seqsim.reads import simulate_reads
+
+WINDOW = 512
+SEED = 77
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return generate_dataset(DatasetSpec(
+        name="cohort-t", n_sites=3000, depth=8.0, coverage=0.9,
+        read_len=40, seed=SEED,
+    ))
+
+
+@pytest.fixture(scope="module")
+def batches(ds):
+    """Four cohort members: the dataset's own reads plus three fresh
+    sequencing runs of the same individual (distinct seeds)."""
+    out = [AlignmentBatch.from_read_set(ds.reads)]
+    for i in range(1, 4):
+        rs = simulate_reads(
+            ds.diploid, depth=8.0, coverage=0.9, read_len=40,
+            seed=SEED * 7 + 3 + 1000 * i,
+        )
+        out.append(AlignmentBatch.from_read_set(rs))
+    return out
+
+
+@pytest.fixture(scope="module")
+def cals(ds, batches):
+    """Pooled calibration per cohort size (deterministic: any path that
+    recalibrates over the same pooled reads reproduces these exactly)."""
+    out = {}
+    for s in (1, 2, 4):
+        pipe = create_pipeline(spec=JobSpec(engine="gsnp", window=WINDOW))
+        out[s] = pipe.calibrate(ds, reads=pooled_batch(batches[:s]))
+        if hasattr(pipe, "release_cache"):
+            pipe.release_cache()
+    return out
+
+
+@pytest.fixture(scope="module")
+def solo(ds, batches, cals):
+    """The parity oracle: per cohort size, each sample's solo serial
+    non-fused run with the pooled calibration -> (table, bytes)."""
+    out = {}
+    for s, cal in cals.items():
+        runs = []
+        for batch in batches[:s]:
+            pipe = create_pipeline(
+                spec=JobSpec(engine="gsnp", window=WINDOW, fusion=False)
+            )
+            res = pipe.run(ds, calibration=cal, reads=batch)
+            if hasattr(pipe, "release_cache"):
+                pipe.release_cache()
+            runs.append((res.table, res.compressed_output))
+        out[s] = runs
+    return out
+
+
+def _assert_parity(cohort_res, oracle, ctx):
+    assert cohort_res.n_samples == len(oracle), ctx
+    for si, (table, blob) in enumerate(oracle):
+        sres = cohort_res.sample_result(si)
+        assert sres.table.equals(table), (ctx, si)
+        assert sres.compressed_output == blob, (ctx, si)
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("s", [1, 2, 4])
+    @pytest.mark.parametrize("fusion", [False, True])
+    def test_serial_cohort_matches_solo_runs(
+        self, s, fusion, ds, batches, cals, solo
+    ):
+        pipe = create_pipeline(
+            spec=JobSpec(engine="gsnp", window=WINDOW, fusion=fusion)
+        )
+        res = pipe.run_cohort(ds, batches[:s], calibration=cals[s])
+        if hasattr(pipe, "release_cache"):
+            pipe.release_cache()
+        _assert_parity(res, solo[s], (s, fusion))
+
+    @pytest.mark.parametrize("s", [1, 2, 4])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_sharded_cohort_matches_solo_runs(
+        self, s, workers, ds, batches, solo
+    ):
+        res = execute(
+            ds,
+            spec=JobSpec(
+                engine="gsnp", window=WINDOW, fusion=True,
+                workers=workers, shard_size=1024,
+            ),
+            sample_reads=batches[:s],
+            force_serial=True,
+        )
+        _assert_parity(res, solo[s], (s, workers))
+        assert res.extras["exec"]["samples"] == s
+
+    def test_multidevice_cohort_matches_solo_runs(self, ds, batches, solo):
+        res = execute(
+            ds,
+            spec=JobSpec(
+                engine="gsnp", window=WINDOW, fusion=True, devices=2,
+            ),
+            sample_reads=batches[:4],
+        )
+        _assert_parity(res, solo[4], "devices=2")
+
+    def test_sanitized_cohort_matches_solo_runs(self, ds, batches, solo):
+        det = GsnpDetector(
+            engine="gsnp", window_size=WINDOW, fusion=True, sanitize=True,
+        )
+        det.sample_batches = batches[:4]
+        res = det.run(ds)
+        _assert_parity(res, solo[4], "sanitize")
+
+    def test_output_files_per_sample(self, ds, batches, solo, tmp_path):
+        out = tmp_path / "cohort.cns"
+        pipe = create_pipeline(
+            spec=JobSpec(engine="gsnp", window=WINDOW, fusion=True)
+        )
+        paths = [cohort_output_path(out, i) for i in range(4)]
+        pipe.run_cohort(ds, batches[:4], output_paths=paths)
+        if hasattr(pipe, "release_cache"):
+            pipe.release_cache()
+        assert paths[0] == out
+        assert paths[2].name == "cohort.cns.s2"
+        for si, (_, blob) in enumerate(solo[4]):
+            assert paths[si].read_bytes() == blob, si
+
+
+class TestResidency:
+    def test_cohort_uploads_tables_once(self, ds, batches, cals):
+        """Satellite regression: an S=4 fused cohort run performs exactly
+        one score-table upload — the residency key is the calibration
+        fingerprint, never the sample."""
+        pipe = create_pipeline(
+            spec=JobSpec(engine="gsnp", window=WINDOW, fusion=True,
+                         cache=True)
+        )
+        res = pipe.run_cohort(ds, batches[:4], calibration=cals[4])
+        device = res.extras["device"]
+        assert device is not None
+        assert device.resident.misses == 1
+        # A second cohort run with the same calibration re-uses the
+        # resident set: still one upload ever.
+        pipe.run_cohort(ds, batches[:4], calibration=cals[4])
+        assert device.resident.misses == 1
+        assert device.resident.hits >= 1
+        pipe.release_cache()
+
+    def test_solo_runs_share_pooled_tables(self, ds, batches, cals):
+        """Four solo runs under one pooled calibration hit the same
+        resident entry: the cache key is sample-independent."""
+        pipe = create_pipeline(
+            spec=JobSpec(engine="gsnp", window=WINDOW, cache=True)
+        )
+        for batch in batches[:4]:
+            res = pipe.run(ds, calibration=cals[4], reads=batch)
+        device = res.extras["device"]
+        assert device.resident.misses == 1
+        assert device.resident.hits == 3
+        pipe.release_cache()
+
+
+class TestCrashResume:
+    def test_crashed_shard_resumes_to_identical_bytes(
+        self, ds, batches, solo, tmp_path
+    ):
+        shards = plan_shards(ds.n_sites, WINDOW, 1024, 2)
+        poison = FaultPlan([
+            FaultSpec(site="exec.shard.error", key=len(shards) - 1,
+                      times=99),
+        ])
+        out = tmp_path / "cohort.cns"
+        jdir = tmp_path / "journal"
+        base = JobSpec(
+            engine="gsnp", window=WINDOW, fusion=True, workers=2,
+            shard_size=1024, journal=str(jdir),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradationWarning)
+            with pytest.raises(ShardError):
+                execute(
+                    ds, spec=replace(base, faults=poison),
+                    sample_reads=batches[:2], output_path=out,
+                    force_serial=True, max_retries=0,
+                )
+            assert not out.exists()  # crash-safe: no partial file
+            committed = len(list(jdir.rglob("shard-*.pkl")))
+            assert committed > 0
+            res = execute(
+                ds, spec=replace(base, resume=True),
+                sample_reads=batches[:2], output_path=out,
+                force_serial=True,
+            )
+        assert res.extras["exec"]["resumed"] == committed
+        for si, (_, blob) in enumerate(solo[2]):
+            assert cohort_output_path(out, si).read_bytes() == blob, si
+
+    def test_cohort_journal_never_splices_into_solo(self, cals):
+        from repro.faults import run_fingerprint
+
+        kw = dict(
+            engine="gsnp", window_size=WINDOW, variant_name="optimized",
+            n_sites=3000, shard_bounds=[(0, 1024)], calibration=cals[4],
+        )
+        assert run_fingerprint(**kw) != run_fingerprint(**kw, n_samples=4)
+        assert run_fingerprint(**kw) == run_fingerprint(**kw, n_samples=1)
+
+
+class TestSpecAndHelpers:
+    def test_jobspec_samples_round_trips_on_the_wire(self):
+        spec = JobSpec(engine="gsnp", samples=["a.soap", "b.soap"])
+        assert spec.samples == ("a.soap", "b.soap")
+        assert spec.is_cohort and spec.n_samples == 3
+        back = JobSpec.from_wire(spec.to_wire())
+        assert back.samples == spec.samples
+
+    def test_cohort_requires_gsnp_engine(self):
+        with pytest.raises(ValueError, match="cohort"):
+            JobSpec(engine="soapsnp", samples=("a.soap",)).validate()
+
+    def test_pooled_batch_rejects_mixed_read_lengths(self, ds):
+        a = AlignmentBatch.from_read_set(ds.reads)
+        b = AlignmentBatch.from_read_set(simulate_reads(
+            ds.diploid, depth=2.0, coverage=0.5, read_len=36, seed=9,
+        ))
+        with pytest.raises(PipelineError, match="read length"):
+            pooled_batch([a, b])
+        with pytest.raises(PipelineError, match="at least one"):
+            pooled_batch([])
+
+    def test_pooled_batch_is_position_sorted(self, batches):
+        import numpy as np
+
+        pooled = pooled_batch(batches[:4])
+        assert pooled.n_reads == sum(b.n_reads for b in batches[:4])
+        assert np.all(np.diff(pooled.pos) >= 0)
+
+    def test_empty_cohort_rejected(self, ds):
+        pipe = create_pipeline(spec=JobSpec(engine="gsnp", window=WINDOW))
+        with pytest.raises(PipelineError, match="at least one"):
+            pipe.run_cohort(ds, [])
